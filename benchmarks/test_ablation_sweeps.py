@@ -1,0 +1,110 @@
+"""Ablation studies beyond the paper's figures.
+
+Sec. VI discusses — without quantifying — several design levers: larger
+crossbars, more/fewer clusters, the batch size that makes pipelining
+worthwhile, and the cost of staging residuals in HBM.  These sweeps
+quantify them with the same flow used for the main results.  They run on
+reduced configurations so the whole harness stays fast.
+"""
+
+import pytest
+
+from repro import ArchConfig, OptimizationLevel, models, run_inference
+from repro.arch import HBMSpec
+from repro.core import MappingOptimizer, lower_to_workload
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return models.resnet18(input_shape=(3, 256, 256))
+
+
+def test_ablation_crossbar_size(resnet):
+    """Larger crossbars need fewer clusters but lose cell utilisation.
+
+    Crossbars smaller than 256x256 are omitted: ResNet-18's deepest layers
+    would then need more clusters than the system has (the feasibility cliff
+    the paper's choice of 256x256 avoids).
+    """
+    print("\nAblation — crossbar size (256 clusters, batch 4)")
+    results = {}
+    for size in (256, 384, 512):
+        arch = ArchConfig.scaled(n_clusters=256, crossbar_size=size)
+        report = run_inference(resnet, arch, batch_size=4, with_breakdown=False)
+        results[size] = report
+        print(
+            f"  {size}x{size}: {report.metrics.throughput_tops:6.2f} TOPS, "
+            f"{report.mapping.n_used_clusters:3d} clusters, "
+            f"local mapping eff {report.mapping.local_mapping_efficiency:.2f}"
+        )
+    from repro.core import naive_cluster_count
+
+    small_xbar_footprint = naive_cluster_count(resnet, results[256].mapping.arch)
+    large_xbar_footprint = naive_cluster_count(resnet, results[512].mapping.arch)
+    print(f"  naive footprint: {small_xbar_footprint} clusters (256x256) vs "
+          f"{large_xbar_footprint} clusters (512x512)")
+    assert large_xbar_footprint < small_xbar_footprint
+    assert (
+        results[512].mapping.local_mapping_efficiency
+        < results[256].mapping.local_mapping_efficiency
+    )
+
+
+def test_ablation_batch_size(resnet):
+    """Pipelining needs batches: throughput collapses at batch 1 (mobile regime)."""
+    arch = ArchConfig.paper()
+    print("\nAblation — batch size (512 clusters)")
+    tops = {}
+    for batch in (1, 4, 16):
+        report = run_inference(resnet, arch, batch_size=batch, with_breakdown=False)
+        tops[batch] = report.metrics.throughput_tops
+        print(f"  batch {batch:2d}: {tops[batch]:6.2f} TOPS, "
+              f"{report.metrics.latency_per_image_ms:6.2f} ms/image")
+    assert tops[16] > tops[4] > tops[1]
+    assert tops[16] > 3 * tops[1]
+
+
+def test_ablation_residual_storage_location(resnet):
+    """Residuals in HBM vs spare L1 (the Sec. V.4 comparison, quantified)."""
+    arch = ArchConfig.paper()
+    optimizer = MappingOptimizer(resnet, arch, batch_size=16)
+    print("\nAblation — residual storage location (batch 16)")
+    makespans = {}
+    for level in (OptimizationLevel.REPLICATED, OptimizationLevel.FINAL):
+        mapping = optimizer.build(level)
+        result = simulate(arch, lower_to_workload(mapping))
+        makespans[level] = result.makespan_ms
+        where = "HBM" if level is OptimizationLevel.REPLICATED else "spare L1"
+        print(f"  residuals in {where:8s}: {result.makespan_ms:6.2f} ms")
+    gain = makespans[OptimizationLevel.REPLICATED] / makespans[OptimizationLevel.FINAL]
+    print(f"  speed-up from on-chip residuals: {gain:.2f}x (paper: 1.9x)")
+    assert gain > 1.2
+
+
+def test_ablation_hbm_burst_size(resnet):
+    """Coarser HBM bursts recover part of the residual-in-HBM penalty."""
+    import dataclasses
+
+    base = ArchConfig.paper()
+    print("\nAblation — HBM burst size with residuals staged in HBM (batch 8)")
+    makespans = {}
+    for burst in (512, 1024, 4096):
+        arch = dataclasses.replace(base, hbm=HBMSpec(max_burst_bytes=burst))
+        optimizer = MappingOptimizer(resnet, arch, batch_size=8)
+        mapping = optimizer.build(OptimizationLevel.REPLICATED)
+        result = simulate(arch, lower_to_workload(mapping))
+        makespans[burst] = result.makespan_cycles
+        print(f"  burst {burst:5d} B: {result.makespan_ms:6.2f} ms")
+    assert makespans[4096] <= makespans[512]
+
+
+def test_bench_small_system_flow(benchmark, resnet):
+    """Benchmark: the flow on a quarter-size system (mapping + simulation, batch 2)."""
+    arch = ArchConfig.scaled(n_clusters=384, crossbar_size=256)
+
+    def run():
+        return run_inference(resnet, arch, batch_size=2, with_breakdown=False)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.result.completed

@@ -1,0 +1,56 @@
+"""Table I — architecture parameters of the evaluated platform.
+
+Regenerates the configuration table and benchmarks the cost of
+instantiating the full 512-cluster topology (routes included), which is
+the setup cost every other experiment pays.
+"""
+
+from repro.arch import ArchConfig
+
+PAPER_TABLE1 = {
+    "Number of clusters": "512",
+    "Number of IMA per cluster": "1",
+    "Number of CORES per cluster": "16",
+    "L1 memory size": "1 MB",
+    "HBM size": "1.5 GB",
+    "Operating frequency": "1 GHz",
+    "Number of streamers ports (read and write)": "16",
+    "IMA crossbar size": "256x256",
+}
+
+
+def test_table1_matches_paper(paper_arch):
+    """Every Table I row reproduced by the default configuration."""
+    table = paper_arch.table1()
+    print("\nTable I — GVSOC architecture parameters")
+    for key, value in table.items():
+        print(f"  {key:<50} {value}")
+    for key, expected in PAPER_TABLE1.items():
+        assert table[key] == expected
+    assert "130" in table["Analog latency (MVM operation)"]
+    assert "(1, 8, 4, 4, 4)" in table["Quadrant factor (HBM link,wrapper,L3,L2,L1)"]
+
+
+def test_peak_capability_derived_from_table1(paper_arch):
+    """Derived peak numbers: ~516 TOPS ideal peak, ~480 mm2."""
+    print(f"\n  ideal peak throughput : {paper_arch.peak_tops:.1f} TOPS")
+    print(f"  chip area             : {paper_arch.chip_area_mm2:.1f} mm2")
+    print(f"  NV parameter capacity : {paper_arch.total_crossbar_params / 1e6:.1f} M weights")
+    assert 450 < paper_arch.peak_tops < 600
+    assert 400 < paper_arch.chip_area_mm2 < 560
+
+
+def test_bench_topology_construction(benchmark):
+    """Benchmark: build the 512-cluster quadrant topology and route across it."""
+
+    def build_and_route():
+        arch = ArchConfig.paper()
+        topo = arch.topology()
+        total_hops = 0
+        for cluster in range(0, arch.n_clusters, 37):
+            total_hops += topo.route(cluster, (cluster * 7 + 13) % arch.n_clusters).n_hops
+            total_hops += topo.route_to_hbm(cluster).n_hops
+        return total_hops
+
+    hops = benchmark(build_and_route)
+    assert hops > 0

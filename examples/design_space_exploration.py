@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-space exploration: crossbar size, cluster count and batch size.
+
+Sec. VI of the paper discusses how the architecture could evolve (larger
+IMA arrays, heterogeneous cluster flavours).  This example sweeps three of
+those axes on a mid-size workload and prints the resulting throughput and
+efficiency, which is the kind of study the library makes cheap:
+
+* crossbar size: 128x128 vs 256x256 (the paper's choice) vs 512x512,
+* system size: 64 to 512 clusters,
+* batch size: 1 (mobile-style, no pipelining benefit) to 32.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import ArchConfig, OptimizationLevel, models, run_inference
+
+
+def sweep_crossbar_size() -> None:
+    print("== crossbar size sweep (ResNet-18, 256 clusters, batch 8) ==")
+    network = models.resnet18(input_shape=(3, 256, 256))
+    for size in (128, 256, 512):
+        arch = ArchConfig.scaled(n_clusters=256, crossbar_size=size)
+        report = run_inference(network, arch, batch_size=8, with_breakdown=False)
+        m = report.metrics
+        print(
+            f"  {size}x{size}: {m.throughput_tops:6.2f} TOPS  "
+            f"{m.area_efficiency_gops_mm2:6.1f} GOPS/mm2  "
+            f"{m.used_clusters:3d} clusters used"
+        )
+    print()
+
+
+def sweep_cluster_count() -> None:
+    print("== cluster-count sweep (ResNet-18, 256x256 IMAs, batch 8) ==")
+    network = models.resnet18(input_shape=(3, 256, 256))
+    for n_clusters in (256, 384, 512):
+        arch = ArchConfig.scaled(n_clusters=n_clusters, crossbar_size=256)
+        report = run_inference(network, arch, batch_size=8, with_breakdown=False)
+        m = report.metrics
+        print(
+            f"  {n_clusters:4d} clusters: {m.throughput_tops:6.2f} TOPS  "
+            f"{m.images_per_second:6.0f} img/s  {m.used_clusters:3d} used"
+        )
+    print()
+
+
+def sweep_batch_size() -> None:
+    print("== batch-size sweep (ResNet-18, 512 clusters) ==")
+    network = models.resnet18(input_shape=(3, 256, 256))
+    arch = ArchConfig.paper()
+    for batch in (1, 4, 16, 32):
+        report = run_inference(network, arch, batch_size=batch, with_breakdown=False)
+        m = report.metrics
+        print(
+            f"  batch {batch:3d}: {m.throughput_tops:6.2f} TOPS  "
+            f"{m.images_per_second:6.0f} img/s  "
+            f"{m.latency_per_image_ms:6.2f} ms/img"
+        )
+    print()
+
+
+def main() -> None:
+    sweep_crossbar_size()
+    sweep_cluster_count()
+    sweep_batch_size()
+
+
+if __name__ == "__main__":
+    main()

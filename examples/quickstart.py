@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: map a small CNN onto a small AIMC system and simulate it.
+
+This example exercises the whole public API in a few seconds:
+
+1. build a network with the graph builder / model zoo,
+2. describe an architecture (here a 16-cluster slice of the paper's system),
+3. run the end-to-end flow (mapping -> pipelined simulation -> analysis),
+4. print the resulting performance report.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ArchConfig, OptimizationLevel, models, run_inference
+
+
+def main() -> None:
+    # A 16-cluster system with the same cluster/IMA parameters as the paper.
+    arch = ArchConfig.scaled(n_clusters=16, crossbar_size=256)
+    print(f"architecture: {arch.name}, peak {arch.peak_tops:.1f} TOPS, "
+          f"{arch.chip_area_mm2:.1f} mm2")
+
+    # A small residual CNN on 32x32 inputs.
+    network = models.tiny_cnn(input_shape=(3, 32, 32), num_classes=10)
+    print(network.summary())
+    print()
+
+    # Map, simulate a batch of 8 images, and analyse.
+    report = run_inference(
+        network,
+        arch,
+        batch_size=8,
+        level=OptimizationLevel.FINAL,
+        with_waterfall=True,
+        with_group_efficiency=True,
+    )
+    print(report.mapping.summary())
+    print()
+    print(report.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Full paper reproduction: ResNet-18, batch of 16 256x256 images, 512 clusters.
+
+This is the experiment of Sec. V/VI of the paper: the network is mapped at
+the three optimisation levels (naive, + data-replication/parallelisation,
++ residuals in spare L1), each mapping is executed on the event-driven
+system simulator, and the script prints
+
+* the Fig. 5A throughput comparison,
+* the Sec. VI headline metrics of the final mapping (TOPS, images/s,
+  TOPS/W, GOPS/mm2),
+* the Fig. 6 inefficiency waterfall,
+* the Fig. 7 per-group area efficiency.
+
+Run with::
+
+    python examples/resnet18_inference.py
+"""
+
+from repro import ArchConfig, OptimizationLevel, models, run_optimization_study, format_study
+from repro.analysis import format_group_efficiency
+
+
+def main() -> None:
+    arch = ArchConfig.paper()
+    network = models.resnet18(input_shape=(3, 256, 256))
+    print(f"network: {network.name}, {network.total_params() / 1e6:.1f} M parameters, "
+          f"{network.total_macs() / 1e9:.2f} GMAC per image")
+    print(f"architecture: {arch.n_clusters} clusters, peak {arch.peak_tops:.0f} TOPS, "
+          f"{arch.chip_area_mm2:.0f} mm2")
+    print()
+
+    reports = run_optimization_study(
+        network,
+        arch,
+        batch_size=16,
+        with_waterfall=True,
+        with_group_efficiency=True,
+    )
+
+    print("== Fig. 5A: throughput with different mapping optimisations ==")
+    print(format_study(reports))
+    print()
+
+    final = reports[OptimizationLevel.FINAL]
+    print("== Sec. VI headline metrics (final mapping) ==")
+    print(final.format())
+    print()
+
+    print("== Fig. 7: per-group area efficiency (final mapping) ==")
+    print(format_group_efficiency(final.group_efficiency))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: end-to-end DNN inference on a massively parallel AIMC architecture.
+
+Python reproduction of Bruschi et al., *End-to-End DNN Inference on a
+Massively Parallel Analog In Memory Computing Architecture* (DATE 2023).
+
+The package is organised as:
+
+* :mod:`repro.arch` — the hardware template (clusters, IMAs, interconnect,
+  HBM, area/energy models, Table I);
+* :mod:`repro.dnn` — DNN graph IR, model zoo (ResNet-18 and friends),
+  reference numerics and quantisation;
+* :mod:`repro.aimc` — functional models of the PCM crossbar datapath;
+* :mod:`repro.sim` — the event-driven system simulator (GVSOC substitute);
+* :mod:`repro.core` — the paper's contribution: static mapping, splitting,
+  replication, reductions, residual management and pipelined execution;
+* :mod:`repro.analysis` — metrics, breakdowns and the Fig. 5/6/7 analyses;
+* :mod:`repro.runner` — one-call end-to-end flow.
+"""
+
+from .arch import ArchConfig
+from .core import MappingOptimizer, OptimizationLevel, lower_to_workload
+from .dnn import models
+from .runner import (
+    InferenceReport,
+    format_study,
+    run_inference,
+    run_optimization_study,
+)
+from .sim import simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "InferenceReport",
+    "MappingOptimizer",
+    "OptimizationLevel",
+    "__version__",
+    "format_study",
+    "lower_to_workload",
+    "models",
+    "run_inference",
+    "run_optimization_study",
+    "simulate",
+]

@@ -1,0 +1,18 @@
+"""Functional models of the analog in-memory-computing datapath."""
+
+from .adc_dac import ADCSpec, DACSpec
+from .crossbar import AnalogExecutor, Crossbar, TileCoordinate, TiledMatrix
+from .noise import NoiseModel
+from .pcm import PCMArray, PCMCellSpec
+
+__all__ = [
+    "ADCSpec",
+    "AnalogExecutor",
+    "Crossbar",
+    "DACSpec",
+    "NoiseModel",
+    "PCMArray",
+    "PCMCellSpec",
+    "TileCoordinate",
+    "TiledMatrix",
+]

@@ -1,0 +1,94 @@
+"""Digital-to-analog and analog-to-digital converter models.
+
+Every word line of the crossbar is driven by a DAC and every bit line is
+read by an ADC (Fig. 1C).  Both converters quantise their signal to a fixed
+number of bits, which bounds the numerical fidelity of the analog MVM
+independently of the PCM cell quality.  The models here are simple uniform
+quantisers with configurable clipping, matching the 8-bit converters the
+paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DACSpec:
+    """Uniform digital-to-analog converter."""
+
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("DAC resolution must be in 1..16 bits")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of representable input levels (symmetric, including zero)."""
+        return (1 << self.bits) - 1
+
+    def convert(self, values: np.ndarray, full_scale: Optional[float] = None) -> np.ndarray:
+        """Quantise digital input values onto the DAC grid.
+
+        ``full_scale`` defaults to the maximum absolute value of the input;
+        values outside the full-scale range are clipped.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values
+        if full_scale is None:
+            full_scale = float(np.max(np.abs(values)))
+        if full_scale == 0.0:
+            return np.zeros_like(values)
+        half_levels = (self.n_levels - 1) // 2
+        step = full_scale / half_levels
+        codes = np.clip(np.round(values / step), -half_levels, half_levels)
+        return codes * step
+
+
+@dataclass(frozen=True)
+class ADCSpec:
+    """Uniform analog-to-digital converter with optional thermal noise."""
+
+    bits: int = 8
+    #: input-referred noise, as a fraction of the full-scale range.
+    noise_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("ADC resolution must be in 1..16 bits")
+        if self.noise_frac < 0:
+            raise ValueError("ADC noise fraction cannot be negative")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of representable output codes (symmetric, including zero)."""
+        return (1 << self.bits) - 1
+
+    def convert(
+        self,
+        values: np.ndarray,
+        full_scale: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Quantise analog bit-line outputs onto the ADC grid."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values
+        if full_scale is None:
+            full_scale = float(np.max(np.abs(values)))
+        if full_scale == 0.0:
+            return np.zeros_like(values)
+        if self.noise_frac > 0:
+            generator = rng if rng is not None else np.random.default_rng()
+            values = values + generator.normal(
+                0.0, self.noise_frac * full_scale, size=values.shape
+            )
+        half_levels = (self.n_levels - 1) // 2
+        step = full_scale / half_levels
+        codes = np.clip(np.round(values / step), -half_levels, half_levels)
+        return codes * step

@@ -1,0 +1,271 @@
+"""Functional model of the analog crossbar and its tiled execution.
+
+:class:`Crossbar` models one ``rows x cols`` PCM crossbar performing
+matrix-vector multiplications in the analog domain: DAC conversion of the
+input vector, analog accumulation over the (noisy) conductances, IR-drop
+attenuation, and ADC conversion of the bit-line outputs.
+
+:class:`TiledMatrix` handles weight matrices larger than one crossbar by
+splitting them along rows and columns onto several crossbars — exactly the
+multi-cluster mapping of Sec. V.1 — and summing the row-split partial
+results, which in the real system is the digital reduction performed by the
+RISC-V cores.
+
+:class:`AnalogExecutor` plugs the tiled analog MVM into the graph reference
+executor so a whole network can be evaluated through the crossbar model and
+compared against its digital reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dnn.graph import Graph, Node
+from ..dnn.numerics import LayerParameters, ReferenceExecutor, initialize_parameters
+from .noise import NoiseModel
+from .pcm import PCMArray
+
+
+class Crossbar:
+    """One analog crossbar of ``rows x cols`` PCM differential cell pairs."""
+
+    def __init__(
+        self,
+        rows: int = 256,
+        cols: int = 256,
+        noise: Optional[NoiseModel] = None,
+        seed: Optional[int] = None,
+    ):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.noise = noise if noise is not None else NoiseModel.typical()
+        self._rng = np.random.default_rng(seed)
+        self._array = PCMArray(rows, cols, cell=self.noise.cell, seed=seed)
+        self._weight_rows = 0
+        self._weight_cols = 0
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program(self, weights: np.ndarray) -> None:
+        """Program a weight matrix (padded with zeros if smaller than the array)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2D matrix")
+        w_rows, w_cols = weights.shape
+        if w_rows > self.rows or w_cols > self.cols:
+            raise ValueError(
+                f"weight matrix {weights.shape} does not fit a "
+                f"{self.rows}x{self.cols} crossbar"
+            )
+        padded = np.zeros((self.rows, self.cols))
+        padded[:w_rows, :w_cols] = weights
+        self._array.program(padded, ideal=not self.noise.programming_noise)
+        self._weight_rows = w_rows
+        self._weight_cols = w_cols
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether weights have been programmed into the crossbar."""
+        return self._array.is_programmed
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cells holding parameters (local mapping efficiency)."""
+        if not self.is_programmed:
+            return 0.0
+        return (self._weight_rows * self._weight_cols) / (self.rows * self.cols)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """Analog matrix-vector multiplication.
+
+        ``inputs`` may be a single vector of length ``weight_rows`` or a
+        batch of shape ``(n, weight_rows)``; the result has matching shape
+        with ``weight_cols`` outputs.
+        """
+        if not self.is_programmed:
+            raise RuntimeError("the crossbar has not been programmed")
+        inputs = np.asarray(inputs, dtype=float)
+        single = inputs.ndim == 1
+        batch = inputs[None, :] if single else inputs
+        if batch.shape[1] != self._weight_rows:
+            raise ValueError(
+                f"input length {batch.shape[1]} does not match programmed "
+                f"rows {self._weight_rows}"
+            )
+        noise = self.noise
+        if noise.converter_quantization:
+            batch = noise.dac.convert(batch)
+        weights = self._array.effective_weights(
+            time_s=noise.drift_time_s, read_noise=noise.read_noise
+        )[: self._weight_rows, : self._weight_cols]
+        outputs = batch @ weights
+        outputs = outputs * noise.ir_drop_factor
+        if noise.converter_quantization:
+            outputs = noise.adc.convert(outputs, rng=self._rng)
+        return outputs[0] if single else outputs
+
+
+@dataclass(frozen=True)
+class TileCoordinate:
+    """Position of one crossbar tile inside a split weight matrix."""
+
+    row_index: int
+    col_index: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the weight slice held by this tile."""
+        return (self.row_stop - self.row_start, self.col_stop - self.col_start)
+
+
+class TiledMatrix:
+    """A weight matrix split across multiple crossbars (row and column splits).
+
+    Row splits produce partial output sums that must be reduced digitally;
+    column splits require broadcasting the same inputs to several crossbars.
+    This mirrors the multi-cluster layer mapping of Sec. V.1.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        crossbar_rows: int = 256,
+        crossbar_cols: int = 256,
+        noise: Optional[NoiseModel] = None,
+        seed: Optional[int] = None,
+    ):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2D matrix")
+        self.weights_shape = weights.shape
+        self.crossbar_rows = crossbar_rows
+        self.crossbar_cols = crossbar_cols
+        rows, cols = weights.shape
+        self.n_row_splits = math.ceil(rows / crossbar_rows)
+        self.n_col_splits = math.ceil(cols / crossbar_cols)
+        self.tiles: List[Tuple[TileCoordinate, Crossbar]] = []
+        base_seed = seed if seed is not None else 0
+        for row_index in range(self.n_row_splits):
+            for col_index in range(self.n_col_splits):
+                row_start = row_index * crossbar_rows
+                row_stop = min(rows, row_start + crossbar_rows)
+                col_start = col_index * crossbar_cols
+                col_stop = min(cols, col_start + crossbar_cols)
+                coordinate = TileCoordinate(
+                    row_index, col_index, row_start, row_stop, col_start, col_stop
+                )
+                crossbar = Crossbar(
+                    crossbar_rows,
+                    crossbar_cols,
+                    noise=noise,
+                    seed=base_seed + 31 * row_index + col_index,
+                )
+                crossbar.program(weights[row_start:row_stop, col_start:col_stop])
+                self.tiles.append((coordinate, crossbar))
+
+    @property
+    def n_crossbars(self) -> int:
+        """Total number of crossbars used by this matrix."""
+        return len(self.tiles)
+
+    @property
+    def utilization(self) -> float:
+        """Average cell utilisation across the tiles."""
+        rows, cols = self.weights_shape
+        allocated = self.n_crossbars * self.crossbar_rows * self.crossbar_cols
+        return (rows * cols) / allocated
+
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """Tiled MVM: broadcast over column splits, reduce over row splits."""
+        inputs = np.asarray(inputs, dtype=float)
+        single = inputs.ndim == 1
+        batch = inputs[None, :] if single else inputs
+        rows, cols = self.weights_shape
+        if batch.shape[1] != rows:
+            raise ValueError(
+                f"input length {batch.shape[1]} does not match matrix rows {rows}"
+            )
+        output = np.zeros((batch.shape[0], cols))
+        for coordinate, crossbar in self.tiles:
+            tile_inputs = batch[:, coordinate.row_start : coordinate.row_stop]
+            partial = crossbar.mvm(tile_inputs)
+            output[:, coordinate.col_start : coordinate.col_stop] += partial
+        return output[0] if single else output
+
+
+class AnalogExecutor:
+    """Runs a whole DNN graph through the tiled analog crossbar model."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        parameters: Optional[Dict[int, LayerParameters]] = None,
+        noise: Optional[NoiseModel] = None,
+        crossbar_rows: int = 256,
+        crossbar_cols: int = 256,
+        seed: int = 0,
+    ):
+        graph.infer_shapes()
+        self.graph = graph
+        self.noise = noise if noise is not None else NoiseModel.typical()
+        self.parameters = (
+            parameters if parameters is not None else initialize_parameters(graph, seed)
+        )
+        self.crossbar_rows = crossbar_rows
+        self.crossbar_cols = crossbar_cols
+        self._tiled: Dict[int, TiledMatrix] = {}
+        for node in graph.analog_nodes():
+            layer = node.layer
+            if getattr(layer, "groups", 1) != 1:
+                continue  # depthwise layers fall back to the digital reference
+            params = self.parameters[node.node_id]
+            self._tiled[node.node_id] = TiledMatrix(
+                params.weight_matrix,
+                crossbar_rows=crossbar_rows,
+                crossbar_cols=crossbar_cols,
+                noise=self.noise,
+                seed=seed + node.node_id,
+            )
+        self._executor = ReferenceExecutor(
+            graph, parameters=self.parameters, mvm_hook=self._mvm_hook
+        )
+
+    @property
+    def total_crossbars(self) -> int:
+        """Total crossbars instantiated for the network."""
+        return sum(tiled.n_crossbars for tiled in self._tiled.values())
+
+    def _mvm_hook(self, node: Node, inputs: np.ndarray, weight_matrix: np.ndarray) -> np.ndarray:
+        tiled = self._tiled.get(node.node_id)
+        if tiled is None:
+            return inputs @ weight_matrix
+        return tiled.mvm(inputs)
+
+    def run(self, input_tensor: np.ndarray) -> Dict[int, np.ndarray]:
+        """Run the graph through the analog model; outputs keyed by node id."""
+        return self._executor.run(input_tensor)
+
+    def run_output(self, input_tensor: np.ndarray) -> np.ndarray:
+        """Run the graph and return the output node's tensor."""
+        return self._executor.run_output(input_tensor)
+
+    def compare_with_reference(self, input_tensor: np.ndarray) -> float:
+        """RMS error of the analog output against the digital reference."""
+        reference = ReferenceExecutor(self.graph, parameters=self.parameters)
+        analog_output = self.run_output(input_tensor)
+        digital_output = reference.run_output(input_tensor)
+        return float(np.sqrt(np.mean((analog_output - digital_output) ** 2)))

@@ -1,0 +1,82 @@
+"""Aggregate non-ideality configuration for the analog crossbar model.
+
+:class:`NoiseModel` gathers every knob that degrades the analog MVM fidelity
+(PCM programming/read noise, drift, ADC/DAC resolution and ADC noise, IR
+drop approximation) into one object with three convenience presets:
+
+* :meth:`NoiseModel.ideal` — a perfectly digital-equivalent crossbar, used
+  by tests that check the tiled analog execution against the numpy
+  reference bit-exactly (up to float tolerance);
+* :meth:`NoiseModel.typical` — default non-idealities representative of
+  published PCM compute cores;
+* :meth:`NoiseModel.pessimistic` — exaggerated non-idealities for
+  robustness studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .adc_dac import ADCSpec, DACSpec
+from .pcm import PCMCellSpec
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Complete non-ideality configuration of one analog crossbar."""
+
+    cell: PCMCellSpec = field(default_factory=PCMCellSpec)
+    dac: DACSpec = field(default_factory=DACSpec)
+    adc: ADCSpec = field(default_factory=ADCSpec)
+    #: apply programming noise when weights are written.
+    programming_noise: bool = True
+    #: apply per-read conductance noise.
+    read_noise: bool = True
+    #: apply DAC/ADC quantisation.
+    converter_quantization: bool = True
+    #: elapsed time since programming, used for drift (None disables drift).
+    drift_time_s: Optional[float] = None
+    #: multiplicative output attenuation approximating IR drop on long
+    #: bit lines (1.0 = no attenuation).
+    ir_drop_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ir_drop_factor <= 1.0:
+            raise ValueError("ir_drop_factor must be in (0, 1]")
+        if self.drift_time_s is not None and self.drift_time_s < 0:
+            raise ValueError("drift_time_s cannot be negative")
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """A noise-free, quantisation-free crossbar (digital equivalent)."""
+        return cls(
+            programming_noise=False,
+            read_noise=False,
+            converter_quantization=False,
+            drift_time_s=None,
+            ir_drop_factor=1.0,
+        )
+
+    @classmethod
+    def typical(cls) -> "NoiseModel":
+        """Default non-idealities of a PCM compute core."""
+        return cls()
+
+    @classmethod
+    def pessimistic(cls) -> "NoiseModel":
+        """Exaggerated non-idealities for robustness studies."""
+        return cls(
+            cell=PCMCellSpec(programming_noise_frac=0.06, read_noise_frac=0.02),
+            adc=ADCSpec(bits=6, noise_frac=0.01),
+            dac=DACSpec(bits=6),
+            drift_time_s=3600.0,
+            ir_drop_factor=0.97,
+        )
+
+    def with_drift(self, time_s: float) -> "NoiseModel":
+        """Copy of this model evaluated ``time_s`` seconds after programming."""
+        return replace(self, drift_time_s=time_s)

@@ -1,0 +1,149 @@
+"""Phase-Change Memory (PCM) device model.
+
+The IMA stores DNN parameters as analog conductances of PCM cells placed at
+the cross-points of the crossbar (Sec. II.2).  Real PCM devices suffer from
+programming noise (the iterative write procedure lands near, not at, the
+target conductance), read noise, and conductance drift over time; the paper
+mentions these non-idealities as the reason analog-aware training exists but
+does not quantify their accuracy impact.  We model them anyway so the
+library can run functional (accuracy-oriented) experiments in addition to
+the performance experiments the paper reports.
+
+The default constants follow the published characterisation of doped-GST
+PCM arrays used by IBM's HERMES-class prototypes: conductances in
+``[0, g_max]`` with ``g_max`` around 25 microsiemens, programming noise of a
+few percent of ``g_max`` and drift exponent around 0.03.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PCMCellSpec:
+    """Static characteristics of one PCM cell used as a programmable resistor."""
+
+    #: maximum programmable conductance, in microsiemens.
+    g_max_us: float = 25.0
+    #: minimum programmable conductance, in microsiemens.
+    g_min_us: float = 0.0
+    #: standard deviation of programming error, as a fraction of g_max.
+    programming_noise_frac: float = 0.02
+    #: standard deviation of instantaneous read noise, as a fraction of g_max.
+    read_noise_frac: float = 0.005
+    #: conductance drift exponent (G(t) = G(t0) * (t/t0)^-nu).
+    drift_nu: float = 0.03
+    #: reference time after programming, in seconds, at which G is nominal.
+    drift_t0_s: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.g_max_us <= self.g_min_us:
+            raise ValueError("g_max must be greater than g_min")
+        if self.programming_noise_frac < 0 or self.read_noise_frac < 0:
+            raise ValueError("noise fractions cannot be negative")
+        if self.drift_nu < 0:
+            raise ValueError("drift exponent cannot be negative")
+        if self.drift_t0_s <= 0:
+            raise ValueError("drift reference time must be positive")
+
+    @property
+    def g_range_us(self) -> float:
+        """Programmable conductance range in microsiemens."""
+        return self.g_max_us - self.g_min_us
+
+
+class PCMArray:
+    """A 2D array of PCM conductance pairs encoding a signed weight matrix.
+
+    Signed weights are stored differentially (``G_plus - G_minus``), the
+    standard technique for bipolar weights on unipolar conductances.  The
+    array supports noisy programming, read noise and conductance drift.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        cell: Optional[PCMCellSpec] = None,
+        seed: Optional[int] = None,
+    ):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell if cell is not None else PCMCellSpec()
+        self._rng = np.random.default_rng(seed)
+        self._g_plus = np.zeros((rows, cols))
+        self._g_minus = np.zeros((rows, cols))
+        self._target_scale = 1.0
+        self._programmed = False
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program(self, weights: np.ndarray, ideal: bool = False) -> None:
+        """Program a signed weight matrix into differential conductances.
+
+        The weight with the largest magnitude maps to ``g_max``; programming
+        noise is added unless ``ideal`` is set.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"weight matrix shape {weights.shape} does not match array "
+                f"({self.rows}, {self.cols})"
+            )
+        max_abs = float(np.max(np.abs(weights)))
+        self._target_scale = max_abs if max_abs > 0 else 1.0
+        normalized = weights / self._target_scale  # in [-1, 1]
+        g_range = self.cell.g_range_us
+        g_plus = np.where(normalized > 0, normalized, 0.0) * g_range + self.cell.g_min_us
+        g_minus = np.where(normalized < 0, -normalized, 0.0) * g_range + self.cell.g_min_us
+        if not ideal:
+            sigma = self.cell.programming_noise_frac * self.cell.g_max_us
+            g_plus = g_plus + self._rng.normal(0.0, sigma, size=g_plus.shape)
+            g_minus = g_minus + self._rng.normal(0.0, sigma, size=g_minus.shape)
+        self._g_plus = np.clip(g_plus, self.cell.g_min_us, self.cell.g_max_us)
+        self._g_minus = np.clip(g_minus, self.cell.g_min_us, self.cell.g_max_us)
+        self._programmed = True
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether the array has been programmed since construction."""
+        return self._programmed
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def effective_weights(
+        self, time_s: Optional[float] = None, read_noise: bool = False
+    ) -> np.ndarray:
+        """Signed weight matrix currently encoded by the conductances.
+
+        ``time_s`` applies conductance drift relative to the programming
+        reference time; ``read_noise`` adds per-read Gaussian noise.
+        """
+        if not self._programmed:
+            raise RuntimeError("the PCM array has not been programmed")
+        g_plus = self._g_plus
+        g_minus = self._g_minus
+        if time_s is not None and time_s > self.cell.drift_t0_s:
+            drift = (time_s / self.cell.drift_t0_s) ** (-self.cell.drift_nu)
+            g_plus = g_plus * drift
+            g_minus = g_minus * drift
+        if read_noise:
+            sigma = self.cell.read_noise_frac * self.cell.g_max_us
+            g_plus = g_plus + self._rng.normal(0.0, sigma, size=g_plus.shape)
+            g_minus = g_minus + self._rng.normal(0.0, sigma, size=g_minus.shape)
+        differential = (g_plus - g_minus) / self.cell.g_range_us
+        return differential * self._target_scale
+
+    def programming_error(self, target_weights: np.ndarray) -> float:
+        """RMS error between target and programmed weights (no drift/read noise)."""
+        target = np.asarray(target_weights, dtype=float)
+        actual = self.effective_weights()
+        return float(np.sqrt(np.mean((target - actual) ** 2)))

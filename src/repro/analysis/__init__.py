@@ -1,0 +1,31 @@
+"""Analysis of simulation results: metrics, breakdowns, waterfall, reports."""
+
+from .breakdown import (
+    ClusterBreakdownRow,
+    breakdown_summary,
+    cluster_breakdown,
+    format_breakdown,
+)
+from .efficiency import GroupEfficiencyRow, format_group_efficiency, group_area_efficiency
+from .metrics import PerformanceMetrics, compute_energy, compute_metrics
+from .report import format_comparison, format_full_report, format_metrics
+from .waterfall import Waterfall, WaterfallStep, compute_waterfall
+
+__all__ = [
+    "ClusterBreakdownRow",
+    "GroupEfficiencyRow",
+    "PerformanceMetrics",
+    "Waterfall",
+    "WaterfallStep",
+    "breakdown_summary",
+    "cluster_breakdown",
+    "compute_energy",
+    "compute_metrics",
+    "compute_waterfall",
+    "format_breakdown",
+    "format_comparison",
+    "format_full_report",
+    "format_group_efficiency",
+    "format_metrics",
+    "group_area_efficiency",
+]

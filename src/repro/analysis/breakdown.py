@@ -1,0 +1,113 @@
+"""Per-cluster execution-time breakdown (Fig. 5B/C/D of the paper).
+
+For every cluster the paper plots the time spent in computation,
+communication, synchronisation and sleep over one batch, and colours each
+bar according to whether the cluster is analog-bound or digital-bound.
+:func:`cluster_breakdown` extracts the same series from a simulation
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.mapping import NetworkMapping
+from ..sim.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class ClusterBreakdownRow:
+    """One cluster's time breakdown over a simulated batch (in cycles)."""
+
+    cluster_id: int
+    analog: int
+    digital: int
+    communication: int
+    synchronization: int
+    sleep: int
+    analog_bound: bool
+    group: int = -1
+
+    @property
+    def compute(self) -> int:
+        """Compute cycles (analog + digital)."""
+        return self.analog + self.digital
+
+    @property
+    def busy(self) -> int:
+        """All non-sleep cycles."""
+        return self.compute + self.communication + self.synchronization
+
+    @property
+    def total(self) -> int:
+        """Busy plus sleep cycles (equals the run's makespan)."""
+        return self.busy + self.sleep
+
+
+def cluster_breakdown(
+    result: SimulationResult, mapping: Optional[NetworkMapping] = None
+) -> List[ClusterBreakdownRow]:
+    """Per-cluster breakdown rows, ordered by cluster id (Fig. 5's x-axis)."""
+    makespan = result.makespan_cycles
+    cluster_groups: Dict[int, int] = {}
+    if mapping is not None:
+        for layer in mapping.layers.values():
+            for cluster in layer.clusters:
+                cluster_groups[cluster] = layer.group
+    rows: List[ClusterBreakdownRow] = []
+    for cluster_id in sorted(result.tracer.clusters):
+        activity = result.tracer.clusters[cluster_id]
+        rows.append(
+            ClusterBreakdownRow(
+                cluster_id=cluster_id,
+                analog=activity.analog,
+                digital=activity.digital,
+                communication=activity.communication,
+                synchronization=activity.synchronization,
+                sleep=activity.sleep(makespan),
+                analog_bound=activity.is_analog_bound,
+                group=cluster_groups.get(cluster_id, -1),
+            )
+        )
+    return rows
+
+
+def breakdown_summary(rows: List[ClusterBreakdownRow]) -> Dict[str, float]:
+    """Aggregate statistics of a breakdown (used by tests and reports)."""
+    if not rows:
+        return {
+            "n_clusters": 0,
+            "analog_bound_fraction": 0.0,
+            "mean_busy_fraction": 0.0,
+            "mean_compute_fraction": 0.0,
+            "mean_sleep_fraction": 0.0,
+        }
+    total = rows[0].total if rows[0].total > 0 else 1
+    busy = sum(row.busy for row in rows) / (len(rows) * total)
+    compute = sum(row.compute for row in rows) / (len(rows) * total)
+    sleep = sum(row.sleep for row in rows) / (len(rows) * total)
+    analog_bound = sum(1 for row in rows if row.analog_bound) / len(rows)
+    return {
+        "n_clusters": len(rows),
+        "analog_bound_fraction": analog_bound,
+        "mean_busy_fraction": busy,
+        "mean_compute_fraction": compute,
+        "mean_sleep_fraction": sleep,
+    }
+
+
+def format_breakdown(rows: List[ClusterBreakdownRow], max_rows: int = 40) -> str:
+    """ASCII rendering of the per-cluster breakdown (one row per cluster)."""
+    lines = [
+        f"{'cluster':>8} {'grp':>4} {'bound':>7} {'analog':>10} {'digital':>10} "
+        f"{'comm':>10} {'sleep':>10}"
+    ]
+    step = max(1, len(rows) // max_rows)
+    for row in rows[::step]:
+        bound = "analog" if row.analog_bound else "digital"
+        lines.append(
+            f"{row.cluster_id:>8} {row.group:>4} {bound:>7} {row.analog:>10} "
+            f"{row.digital:>10} {row.communication:>10} {row.sleep:>10}"
+        )
+    return "\n".join(lines)

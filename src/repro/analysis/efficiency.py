@@ -1,0 +1,101 @@
+"""Per-group area efficiency (Fig. 7 of the paper).
+
+The paper groups ResNet-18 layers by the shape of their input feature map
+(six groups from ``256x256x3`` down to ``8x8x512``) and reports the area
+efficiency (GOPS/mm2) each group of clusters achieves, communication
+inefficiencies excluded.  Early/middle groups reach high efficiency thanks
+to large feature maps (high reuse of the statically-mapped parameters);
+the deepest group is an order of magnitude less efficient because its
+layers perform few MVMs per crossbar and interleave reductions on the
+cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.mapping import NetworkMapping
+from ..sim.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class GroupEfficiencyRow:
+    """Area efficiency of one layer group (one bar of Fig. 7)."""
+
+    group: int
+    ifm_shape: str
+    n_layers: int
+    n_clusters: int
+    area_mm2: float
+    ops: int
+    gops: float
+    area_efficiency_gops_mm2: float
+
+
+def group_area_efficiency(
+    mapping: NetworkMapping,
+    result: SimulationResult,
+) -> List[GroupEfficiencyRow]:
+    """Per-group area efficiency over one simulated batch.
+
+    ``result`` should be a communication-free simulation (the paper excludes
+    communication inefficiencies from Fig. 7); passing the full simulation
+    simply yields proportionally lower numbers.
+    """
+    seconds = result.makespan_seconds
+    if seconds <= 0:
+        raise ValueError("simulation produced a zero-length run")
+    cluster_area = mapping.arch.area.cluster_mm2
+    n_jobs = result.workload.n_jobs
+
+    per_group_ops: Dict[int, int] = {}
+    per_group_clusters: Dict[int, int] = {}
+    per_group_layers: Dict[int, int] = {}
+    stage_costs = {stage.stage_id: stage for stage in result.workload.stages}
+    for node_id, layer in mapping.layers.items():
+        group = layer.group
+        stage = stage_costs.get(node_id)
+        if stage is None:
+            continue
+        ops = (2 * stage.cost.analog_macs_per_job + stage.cost.digital_ops_per_job) * n_jobs
+        per_group_ops[group] = per_group_ops.get(group, 0) + ops
+        per_group_clusters[group] = per_group_clusters.get(group, 0) + layer.n_clusters
+        per_group_layers[group] = per_group_layers.get(group, 0) + 1
+
+    shapes = mapping.group_shapes()
+    rows: List[GroupEfficiencyRow] = []
+    for group in sorted(per_group_ops):
+        ops = per_group_ops[group]
+        clusters = per_group_clusters[group]
+        area = clusters * cluster_area
+        gops = ops / seconds / 1e9
+        efficiency = gops / area if area > 0 else 0.0
+        shape = shapes.get(group)
+        rows.append(
+            GroupEfficiencyRow(
+                group=group,
+                ifm_shape=str(shape) if shape is not None else "-",
+                n_layers=per_group_layers[group],
+                n_clusters=clusters,
+                area_mm2=area,
+                ops=ops,
+                gops=gops,
+                area_efficiency_gops_mm2=efficiency,
+            )
+        )
+    return rows
+
+
+def format_group_efficiency(rows: List[GroupEfficiencyRow]) -> str:
+    """ASCII table of the per-group area efficiency (Fig. 7)."""
+    lines = [
+        f"{'group':>5} {'IFM shape':>14} {'layers':>7} {'clusters':>9} "
+        f"{'area mm2':>9} {'GOPS':>9} {'GOPS/mm2':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.group:>5} {row.ifm_shape:>14} {row.n_layers:>7} {row.n_clusters:>9} "
+            f"{row.area_mm2:>9.1f} {row.gops:>9.1f} {row.area_efficiency_gops_mm2:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Text reports combining the analysis pieces into paper-style summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .breakdown import ClusterBreakdownRow, breakdown_summary
+from .efficiency import GroupEfficiencyRow, format_group_efficiency
+from .metrics import PerformanceMetrics
+from .waterfall import Waterfall
+
+
+def format_metrics(metrics: PerformanceMetrics) -> str:
+    """Single-run report mirroring the Sec. VI headline paragraph."""
+    lines = [
+        f"== {metrics.name} ==",
+        f"batch size                : {metrics.batch_size}",
+        f"end-to-end latency        : {metrics.makespan_ms:.2f} ms",
+        f"throughput                : {metrics.throughput_tops:.2f} TOPS "
+        f"({metrics.images_per_second:.0f} images/s)",
+        f"clusters used             : {metrics.used_clusters} / {metrics.total_clusters}",
+        f"chip area                 : {metrics.chip_area_mm2:.0f} mm2",
+        f"area efficiency           : {metrics.area_efficiency_gops_mm2:.1f} GOPS/mm2",
+        f"energy per batch          : {metrics.energy_mj:.1f} mJ "
+        f"({metrics.power_w:.2f} W average)",
+        f"energy efficiency         : {metrics.energy_efficiency_tops_w:.2f} TOPS/W",
+        f"HBM traffic               : {metrics.hbm_traffic_mb:.1f} MB",
+        f"NoC traffic               : {metrics.noc_traffic_mb:.1f} MB",
+    ]
+    return "\n".join(lines)
+
+
+def format_comparison(metrics: Sequence[PerformanceMetrics]) -> str:
+    """Side-by-side comparison of several runs (Fig. 5A style)."""
+    if not metrics:
+        return "(no runs)"
+    lines = [
+        f"{'mapping':<14} {'ms':>8} {'TOPS':>8} {'img/s':>8} {'clusters':>9} "
+        f"{'TOPS/W':>8} {'HBM MB':>8}"
+    ]
+    baseline = metrics[0].throughput_tops
+    for item in metrics:
+        gain = item.throughput_tops / baseline if baseline > 0 else 0.0
+        lines.append(
+            f"{item.name:<14} {item.makespan_ms:>8.2f} {item.throughput_tops:>8.2f} "
+            f"{item.images_per_second:>8.0f} {item.used_clusters:>9} "
+            f"{item.energy_efficiency_tops_w:>8.2f} {item.hbm_traffic_mb:>8.1f}  "
+            f"({gain:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def format_full_report(
+    metrics: PerformanceMetrics,
+    waterfall: Optional[Waterfall] = None,
+    breakdown_rows: Optional[List[ClusterBreakdownRow]] = None,
+    efficiency_rows: Optional[List[GroupEfficiencyRow]] = None,
+) -> str:
+    """Combined report: headline metrics, waterfall, breakdown, efficiency."""
+    parts = [format_metrics(metrics)]
+    if waterfall is not None:
+        parts.append("\n-- performance degradation (Fig. 6) --\n" + waterfall.format())
+    if breakdown_rows is not None:
+        summary = breakdown_summary(breakdown_rows)
+        parts.append(
+            "\n-- per-cluster activity (Fig. 5) --\n"
+            + "\n".join(f"{key}: {value:.3f}" for key, value in summary.items())
+        )
+    if efficiency_rows is not None:
+        parts.append(
+            "\n-- per-group area efficiency (Fig. 7) --\n"
+            + format_group_efficiency(efficiency_rows)
+        )
+    return "\n".join(parts)

@@ -1,0 +1,177 @@
+"""Area and power/energy models.
+
+The paper implements one cluster down to a silicon-ready layout in 22 nm FDX
+and then scales the area, frequency and power figures to a 5 nm node more
+representative of HPC silicon (Sec. VI).  We do not have access to those
+physical-implementation numbers, so this module provides a *parametric*
+area/energy model whose defaults are calibrated so that the 512-cluster
+system reproduces the figures the paper reports:
+
+* total chip area of roughly 480 mm2 (i.e. ~0.94 mm2 per cluster),
+* 42 GOPS/mm2 end-to-end area efficiency at 20.2 TOPS,
+* ~15 mJ and 6.5 TOPS/W for one batch-16 ResNet-18 inference.
+
+Every constant is exposed and documented so the model can be re-calibrated
+against other technology assumptions (e.g. the 22 nm numbers themselves, or
+a larger-crossbar design point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .cluster import ClusterSpec, DEFAULT_CLUSTER_SPEC
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-component silicon area, in mm2, at the target technology node.
+
+    The split between IMA, cores, L1 and interconnect inside one cluster
+    follows the qualitative description of the cluster floorplan in the
+    paper and its companion work (Garofalo et al., JETCAS 2022): the L1
+    scratchpad dominates, the analog macro and the 16-core complex are of
+    comparable size.
+    """
+
+    technology: str = "5nm"
+    ima_mm2: float = 0.20
+    cores_mm2: float = 0.28
+    l1_mm2: float = 0.36
+    cluster_overhead_mm2: float = 0.10  # DMA, event unit, cluster crossbar
+    #: system-level interconnect + HBM PHY area amortised per cluster.
+    noc_per_cluster_mm2: float = 0.0
+    system_overhead_mm2: float = 0.0
+
+    @property
+    def cluster_mm2(self) -> float:
+        """Area of one heterogeneous cluster."""
+        return (
+            self.ima_mm2
+            + self.cores_mm2
+            + self.l1_mm2
+            + self.cluster_overhead_mm2
+            + self.noc_per_cluster_mm2
+        )
+
+    def system_mm2(self, n_clusters: int) -> float:
+        """Total silicon area of a system with ``n_clusters`` clusters."""
+        if n_clusters < 0:
+            raise ValueError("n_clusters cannot be negative")
+        return n_clusters * self.cluster_mm2 + self.system_overhead_mm2
+
+    def breakdown(self, n_clusters: int) -> Dict[str, float]:
+        """Per-component area breakdown of the full system, in mm2."""
+        return {
+            "ima": n_clusters * self.ima_mm2,
+            "cores": n_clusters * self.cores_mm2,
+            "l1": n_clusters * self.l1_mm2,
+            "cluster_overhead": n_clusters * self.cluster_overhead_mm2,
+            "noc": n_clusters * self.noc_per_cluster_mm2,
+            "system_overhead": self.system_overhead_mm2,
+            "total": self.system_mm2(n_clusters),
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs, calibrated to the paper's system-level figures.
+
+    All values are in picojoules.  The analog MAC energy is in the range
+    reported for PCM-based compute cores (tens of fJ/MAC including the
+    ADC/DAC conversions); the digital, DMA, NoC and HBM energies are typical
+    5 nm-class numbers.  Idle (clock-gated) clusters only pay leakage.
+    """
+
+    #: energy of one analog multiply-accumulate, including conversion
+    #: amortisation (pJ per MAC).
+    analog_mac_pj: float = 0.20
+    #: energy of one digital operation on the RISC-V cores (pJ per op).
+    digital_op_pj: float = 1.2
+    #: energy to move one byte within a cluster (L1 <-> IMA buffers, DMA in
+    #: the local TCDM).
+    local_byte_pj: float = 0.15
+    #: energy to move one byte over one NoC hop.
+    noc_byte_hop_pj: float = 0.35
+    #: energy to move one byte from/to the off-chip HBM.
+    hbm_byte_pj: float = 6.0
+    #: static/leakage power per active cluster (mW).
+    cluster_static_mw: float = 2.0
+    #: static/leakage power per idle (clock-gated) cluster (mW).
+    idle_cluster_static_mw: float = 0.05
+
+    def analog_energy_mj(self, n_macs: float) -> float:
+        """Energy of ``n_macs`` analog MACs, in millijoules."""
+        return n_macs * self.analog_mac_pj * 1e-9
+
+    def digital_energy_mj(self, n_ops: float) -> float:
+        """Energy of ``n_ops`` digital core operations, in millijoules."""
+        return n_ops * self.digital_op_pj * 1e-9
+
+    def local_traffic_energy_mj(self, n_bytes: float) -> float:
+        """Energy of intra-cluster data movement, in millijoules."""
+        return n_bytes * self.local_byte_pj * 1e-9
+
+    def noc_traffic_energy_mj(self, byte_hops: float) -> float:
+        """Energy of NoC traffic, in millijoules (input is bytes x hops)."""
+        return byte_hops * self.noc_byte_hop_pj * 1e-9
+
+    def hbm_traffic_energy_mj(self, n_bytes: float) -> float:
+        """Energy of HBM traffic, in millijoules."""
+        return n_bytes * self.hbm_byte_pj * 1e-9
+
+    def static_energy_mj(
+        self, active_clusters: int, idle_clusters: int, duration_s: float
+    ) -> float:
+        """Leakage/static energy over ``duration_s`` seconds, in millijoules."""
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        power_mw = (
+            active_clusters * self.cluster_static_mw
+            + idle_clusters * self.idle_cluster_static_mw
+        )
+        return power_mw * 1e-3 * duration_s * 1e3
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals, in millijoules, for one simulated workload."""
+
+    analog_mj: float = 0.0
+    digital_mj: float = 0.0
+    local_traffic_mj: float = 0.0
+    noc_traffic_mj: float = 0.0
+    hbm_traffic_mj: float = 0.0
+    static_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy in millijoules."""
+        return (
+            self.analog_mj
+            + self.digital_mj
+            + self.local_traffic_mj
+            + self.noc_traffic_mj
+            + self.hbm_traffic_mj
+            + self.static_mj
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dictionary (all values in mJ)."""
+        return {
+            "analog": self.analog_mj,
+            "digital": self.digital_mj,
+            "local_traffic": self.local_traffic_mj,
+            "noc_traffic": self.noc_traffic_mj,
+            "hbm_traffic": self.hbm_traffic_mj,
+            "static": self.static_mj,
+            "total": self.total_mj,
+        }
+
+
+DEFAULT_AREA_MODEL = AreaModel()
+"""Area model calibrated so 512 clusters occupy roughly 480 mm2."""
+
+DEFAULT_ENERGY_MODEL = EnergyModel()
+"""Energy model calibrated to land near 6.5 TOPS/W end-to-end."""

@@ -1,0 +1,65 @@
+"""Core contribution: mapping and pipelined execution of DNNs on the AIMC fabric."""
+
+from .allocator import AllocationError, ClusterAllocator
+from .costs import (
+    AnalogJobCost,
+    analog_job_cost,
+    broadcast_bytes_per_job,
+    digital_job_cycles,
+    digital_job_ops,
+    partial_sum_bytes_per_job,
+    reduction_job_cycles,
+    reduction_job_ops,
+)
+from .mapping import (
+    LayerMapping,
+    MappingOptions,
+    NetworkMapping,
+    assign_groups,
+    build_mapping,
+)
+from .optimizer import MappingOptimizer, OptimizationLevel
+from .pipeline import (
+    NETWORK_INPUT_LABEL,
+    NETWORK_OUTPUT_LABEL,
+    RESIDUAL_BUFFER_DEPTH,
+    lower_to_workload,
+)
+from .reduction import ReductionLevel, ReductionPlan
+from .replication import BalanceResult, balance_pipeline, naive_cluster_count
+from .residuals import ResidualEdge, ResidualPlan
+from .splits import LayerSplit
+from .tiling import TilingPlan
+
+__all__ = [
+    "AllocationError",
+    "AnalogJobCost",
+    "BalanceResult",
+    "ClusterAllocator",
+    "LayerMapping",
+    "LayerSplit",
+    "MappingOptimizer",
+    "MappingOptions",
+    "NETWORK_INPUT_LABEL",
+    "NETWORK_OUTPUT_LABEL",
+    "NetworkMapping",
+    "OptimizationLevel",
+    "RESIDUAL_BUFFER_DEPTH",
+    "ReductionLevel",
+    "ReductionPlan",
+    "ResidualEdge",
+    "ResidualPlan",
+    "TilingPlan",
+    "analog_job_cost",
+    "assign_groups",
+    "balance_pipeline",
+    "broadcast_bytes_per_job",
+    "build_mapping",
+    "digital_job_cycles",
+    "digital_job_ops",
+    "lower_to_workload",
+    "naive_cluster_count",
+    "partial_sum_bytes_per_job",
+    "reduction_job_cycles",
+    "reduction_job_ops",
+]

@@ -1,0 +1,134 @@
+"""Per-job cost models shared by the mapping passes and the lowering.
+
+A *job* is one W-tile of one image (see :mod:`repro.core.tiling`).  The
+functions here translate a graph node plus its mapping decisions (splits,
+replication, parallelisation) into the cycle counts the pipeline balancer
+optimises and the simulator executes.  All cycle counts refer to the 1 GHz
+system clock of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.cluster import ClusterSpec
+from ..dnn.graph import Node
+from ..sim.ima_model import IMAJob, IMATimingModel
+from .reduction import ReductionPlan
+from .splits import LayerSplit
+from .tiling import TilingPlan
+
+
+@dataclass(frozen=True)
+class AnalogJobCost:
+    """Cycle/operation counts of one analog job on one replica."""
+
+    cycles: int
+    mvms: int
+    macs: int
+    rows_used: int
+    cols_used: int
+
+
+def analog_job_cost(
+    node: Node,
+    split: LayerSplit,
+    tiling: TilingPlan,
+    cluster: ClusterSpec,
+) -> AnalogJobCost:
+    """Cost of one job of an analog node on one replica.
+
+    Every crossbar of the replica's split grid performs the same number of
+    MVMs (one per output pixel of the tile) in parallel, so the replica's
+    latency is the latency of a single crossbar's job; the MAC count covers
+    the whole replica (all splits).
+    """
+    out_shape = node.output_shape
+    if out_shape is None:
+        raise ValueError(f"node {node.node_id} has no inferred shapes")
+    out_columns = tiling.output_tile_columns(node)
+    n_mvms = out_shape.height * out_columns
+    if node.kind == "linear":
+        # A fully-connected layer performs a single MVM per image; spread it
+        # over the image's tiles so the job stream stays uniform.
+        n_mvms = max(1, math.ceil(1 / tiling.tiles_per_image))
+    job = IMAJob(
+        n_mvms=n_mvms,
+        rows_used=split.rows_per_split,
+        cols_used=split.cols_per_split,
+    )
+    timing = IMATimingModel(cluster)
+    cycles = timing.job_cycles(job)
+    macs_per_job = node.macs // tiling.tiles_per_image
+    return AnalogJobCost(
+        cycles=cycles,
+        mvms=n_mvms,
+        macs=macs_per_job,
+        rows_used=split.rows_per_split,
+        cols_used=split.cols_per_split,
+    )
+
+
+def reduction_job_cycles(
+    node: Node,
+    split: LayerSplit,
+    reduction: ReductionPlan,
+    tiling: TilingPlan,
+    cluster: ClusterSpec,
+) -> int:
+    """Cycles to reduce one job's partial outputs of a row-split layer."""
+    if not reduction.needs_reduction:
+        return 0
+    out_shape = node.output_shape
+    elements_per_job = out_shape.channels * out_shape.height * tiling.output_tile_columns(node)
+    return reduction.cycles_per_job(elements_per_job, cluster.cores)
+
+
+def reduction_job_ops(
+    node: Node, reduction: ReductionPlan, tiling: TilingPlan
+) -> int:
+    """Additions per job performed by the reduction of a row-split layer."""
+    if not reduction.needs_reduction:
+        return 0
+    out_shape = node.output_shape
+    elements_per_job = out_shape.channels * out_shape.height * tiling.output_tile_columns(node)
+    return reduction.total_ops_per_job(elements_per_job)
+
+
+def digital_job_ops(node: Node, tiling: TilingPlan) -> int:
+    """Digital element-wise operations of one job of a digital node."""
+    return max(1, node.digital_ops // tiling.tiles_per_image)
+
+
+def digital_job_cycles(
+    node: Node,
+    tiling: TilingPlan,
+    cluster: ClusterSpec,
+    parallel_clusters: int = 1,
+) -> int:
+    """Cycles of one job of a digital node parallelised over clusters."""
+    ops = digital_job_ops(node, tiling)
+    return cluster.cores.elementwise_cycles(ops, n_clusters=parallel_clusters)
+
+
+def broadcast_bytes_per_job(
+    node: Node, split: LayerSplit, tiling: TilingPlan
+) -> int:
+    """Extra intra-stage traffic to broadcast the IFM tile to column splits."""
+    if not split.needs_broadcast:
+        return 0
+    return (split.n_col_splits - 1) * tiling.input_tile_bytes(node)
+
+
+def partial_sum_bytes_per_job(
+    node: Node, split: LayerSplit, tiling: TilingPlan, bytes_per_partial: int = 2
+) -> int:
+    """Intra-stage traffic of partial output maps towards the reduction."""
+    if not split.needs_reduction:
+        return 0
+    out_shape = node.output_shape
+    elements_per_job = out_shape.channels * out_shape.height * tiling.output_tile_columns(node)
+    # Every row split beyond the first ships its partial map to the reducer.
+    return (split.n_row_splits - 1) * elements_per_job * bytes_per_partial

@@ -1,0 +1,111 @@
+"""Mapping optimisation levels (the three design points of Fig. 5).
+
+The paper evaluates three successive mappings of ResNet-18:
+
+* **naive** — every layer mapped with the multi-cluster technique needed to
+  fit its parameters, but no replication, no parallelisation, residuals
+  staged in HBM (Fig. 5B);
+* **replicated** — data-replication of the analog bottleneck layers and
+  parallelisation of the digital ones, which balances the pipeline at the
+  cost of extra clusters but moves the bottleneck to HBM communication
+  (Fig. 5C);
+* **final** — the replicated mapping with residual tensors parked in the L1
+  of spare clusters instead of HBM, removing the communication bottleneck
+  (Fig. 5D).
+
+:class:`MappingOptimizer` produces the three mappings for any network, and
+is the main entry point used by the runner, the examples and the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arch.config import ArchConfig
+from ..dnn.graph import Graph
+from .mapping import MappingOptions, NetworkMapping, build_mapping
+from .replication import BalanceResult, balance_pipeline
+from .residuals import ResidualPlan
+from .tiling import TilingPlan
+
+
+class OptimizationLevel(enum.Enum):
+    """The three mapping design points evaluated in the paper."""
+
+    NAIVE = "naive"
+    REPLICATED = "replicated"
+    FINAL = "final"
+
+    @classmethod
+    def all(cls) -> tuple:
+        """All levels, in the order the paper presents them."""
+        return (cls.NAIVE, cls.REPLICATED, cls.FINAL)
+
+
+@dataclass
+class MappingOptimizer:
+    """Builds naive / replicated / final mappings for a network."""
+
+    graph: Graph
+    arch: ArchConfig
+    batch_size: int = 16
+    reserve_clusters: int = 4
+    max_replication: int = 64
+
+    def __post_init__(self) -> None:
+        self.graph.infer_shapes()
+        self._tiling = TilingPlan.choose(self.graph, self.arch.cluster, self.batch_size)
+        self._balance: Optional[BalanceResult] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tiling(self) -> TilingPlan:
+        """The W-tiling shared by every mapping level."""
+        return self._tiling
+
+    def balance(self) -> BalanceResult:
+        """Replication/parallelisation factors of the balanced mapping (cached)."""
+        if self._balance is None:
+            self._balance = balance_pipeline(
+                self.graph,
+                self.arch,
+                self._tiling,
+                reserve_clusters=self.reserve_clusters,
+                max_replication=self.max_replication,
+            )
+        return self._balance
+
+    # ------------------------------------------------------------------ #
+    def options_for(self, level: OptimizationLevel) -> MappingOptions:
+        """Mapping options implementing one optimisation level."""
+        if level is OptimizationLevel.NAIVE:
+            return MappingOptions(
+                batch_size=self.batch_size,
+                residual_mode=ResidualPlan.MODE_HBM,
+                name="naive",
+            )
+        balance = self.balance()
+        residual_mode = (
+            ResidualPlan.MODE_SPARE_L1
+            if level is OptimizationLevel.FINAL
+            else ResidualPlan.MODE_HBM
+        )
+        return MappingOptions(
+            batch_size=self.batch_size,
+            replication=dict(balance.replication),
+            parallelization=dict(balance.parallelization),
+            residual_mode=residual_mode,
+            name=level.value,
+        )
+
+    def build(self, level: OptimizationLevel) -> NetworkMapping:
+        """Build the mapping for one optimisation level."""
+        options = self.options_for(level)
+        return build_mapping(self.graph, self.arch, options, tiling=self._tiling)
+
+    def build_all(self) -> Dict[OptimizationLevel, NetworkMapping]:
+        """Build all three mappings (Fig. 5A's x-axis)."""
+        return {level: self.build(level) for level in OptimizationLevel.all()}

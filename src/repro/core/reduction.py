@@ -1,0 +1,133 @@
+"""Reduction-tree planning (Sec. V.3 of the paper).
+
+When a layer is row-split across ``N`` IMAs, their partial output maps must
+be summed.  For small ``N`` the cores of the split clusters themselves do
+the accumulation (they are otherwise idle while the IMA computes); for the
+deep ResNet-18 layers ``N`` reaches 18-20 and the reduction becomes a
+pipeline bottleneck, so the paper splits it into a hierarchical tree whose
+levels are assigned to a logarithmically decreasing number of dedicated
+clusters with balanced latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..arch.cluster import CoreSpec
+
+
+@dataclass(frozen=True)
+class ReductionLevel:
+    """One level of the reduction tree."""
+
+    level: int
+    n_inputs: int
+    n_outputs: int
+    n_clusters: int
+
+    @property
+    def operands_per_output(self) -> int:
+        """Partial tensors merged into each output of this level."""
+        return math.ceil(self.n_inputs / self.n_outputs)
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """Complete plan for reducing ``n_partials`` partial output maps.
+
+    ``dedicated`` selects between running the reduction on the cores of the
+    producing (analog) clusters — appropriate for small fan-ins — and
+    allocating dedicated clusters organised as a tree.
+    """
+
+    n_partials: int
+    dedicated: bool
+    levels: Tuple[ReductionLevel, ...]
+
+    #: fan-in above which dedicated reduction clusters are allocated.
+    DEDICATED_THRESHOLD = 8
+    #: fan-in reduced by one cluster at one tree level.
+    FAN_IN = 4
+
+    @property
+    def n_clusters(self) -> int:
+        """Dedicated clusters needed (0 when reduction runs on the producers)."""
+        if not self.dedicated:
+            return 0
+        return sum(level.n_clusters for level in self.levels)
+
+    @property
+    def n_levels(self) -> int:
+        """Depth of the reduction tree."""
+        return len(self.levels)
+
+    @property
+    def needs_reduction(self) -> bool:
+        """Whether any accumulation is required at all."""
+        return self.n_partials > 1
+
+    # ------------------------------------------------------------------ #
+    def cycles_per_job(self, elements_per_job: int, cores: CoreSpec) -> int:
+        """Cycles to reduce one job's partial outputs.
+
+        For the dedicated tree the levels are pipelined, so the steady-state
+        cost is the slowest level; for the on-producer case it is a single
+        accumulation over all partials.
+        """
+        if not self.needs_reduction or elements_per_job <= 0:
+            return 0
+        if not self.dedicated:
+            return cores.reduction_cycles(elements_per_job, self.n_partials)
+        worst = 0
+        for level in self.levels:
+            per_cluster_elements = math.ceil(elements_per_job / level.n_clusters)
+            cycles = cores.reduction_cycles(per_cluster_elements, level.operands_per_output)
+            worst = max(worst, cycles)
+        return worst
+
+    def total_ops_per_job(self, elements_per_job: int) -> int:
+        """Additions performed per job over the whole tree."""
+        if not self.needs_reduction:
+            return 0
+        return elements_per_job * (self.n_partials - 1)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def plan(cls, n_partials: int) -> "ReductionPlan":
+        """Build the reduction plan for ``n_partials`` partial tensors."""
+        if n_partials <= 0:
+            raise ValueError("n_partials must be positive")
+        if n_partials == 1:
+            return cls(n_partials=1, dedicated=False, levels=())
+        if n_partials <= cls.DEDICATED_THRESHOLD:
+            return cls(n_partials=n_partials, dedicated=False, levels=())
+        levels: List[ReductionLevel] = []
+        current = n_partials
+        index = 0
+        while current > 1:
+            outputs = max(1, math.ceil(current / cls.FAN_IN))
+            levels.append(
+                ReductionLevel(
+                    level=index,
+                    n_inputs=current,
+                    n_outputs=outputs,
+                    n_clusters=outputs,
+                )
+            )
+            current = outputs
+            index += 1
+        return cls(n_partials=n_partials, dedicated=True, levels=tuple(levels))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if not self.needs_reduction:
+            return "no reduction needed"
+        if not self.dedicated:
+            return f"reduce {self.n_partials} partials on the producing clusters"
+        shape = " -> ".join(str(level.n_clusters) for level in self.levels)
+        return (
+            f"reduce {self.n_partials} partials on a dedicated tree "
+            f"({shape} clusters, {self.n_clusters} total)"
+        )

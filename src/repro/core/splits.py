@@ -1,0 +1,115 @@
+"""Multi-cluster layer splitting (Sec. V.1 of the paper).
+
+When a layer's unrolled weight matrix does not fit one crossbar, it is split
+across several IMAs:
+
+* **row splits** — when ``Cin * Kx * Ky`` exceeds the number of crossbar
+  rows, several IMAs hold horizontal slices of the matrix and each computes
+  a *partial* output that must be reduced (summed) afterwards;
+* **column splits** — when ``Cout`` exceeds the number of crossbar columns,
+  the input vector is broadcast to several IMAs, each holding a different
+  slice of output channels.
+
+Both situations can occur at the same time (they do for the deepest layers
+of ResNet-18).  :class:`LayerSplit` captures the resulting grid and the
+per-IMA occupancy, which also quantifies the *local mapping* inefficiency
+analysed in Sec. VI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..arch.ima import IMASpec
+from ..dnn.graph import Node
+
+
+@dataclass(frozen=True)
+class LayerSplit:
+    """How one analog layer's weight matrix is split across crossbars."""
+
+    weight_rows: int
+    weight_cols: int
+    crossbar_rows: int
+    crossbar_cols: int
+    n_row_splits: int
+    n_col_splits: int
+
+    def __post_init__(self) -> None:
+        if self.weight_rows <= 0 or self.weight_cols <= 0:
+            raise ValueError("weight matrix dimensions must be positive")
+        if self.n_row_splits <= 0 or self.n_col_splits <= 0:
+            raise ValueError("split counts must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Grid shape
+    # ------------------------------------------------------------------ #
+    @property
+    def n_crossbars(self) -> int:
+        """Total crossbars (and thus clusters) holding the layer's weights."""
+        return self.n_row_splits * self.n_col_splits
+
+    @property
+    def rows_per_split(self) -> int:
+        """Active rows of each crossbar (balanced split, last may be smaller)."""
+        return math.ceil(self.weight_rows / self.n_row_splits)
+
+    @property
+    def cols_per_split(self) -> int:
+        """Active columns of each crossbar (balanced split)."""
+        return math.ceil(self.weight_cols / self.n_col_splits)
+
+    @property
+    def needs_reduction(self) -> bool:
+        """Whether partial outputs must be summed across row splits."""
+        return self.n_row_splits > 1
+
+    @property
+    def needs_broadcast(self) -> bool:
+        """Whether the input vector must be broadcast across column splits."""
+        return self.n_col_splits > 1
+
+    # ------------------------------------------------------------------ #
+    # Utilisation
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_utilization(self) -> float:
+        """Fraction of allocated crossbar cells that hold parameters."""
+        used = self.weight_rows * self.weight_cols
+        allocated = self.n_crossbars * self.crossbar_rows * self.crossbar_cols
+        return used / allocated
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_matrix(cls, weight_rows: int, weight_cols: int, ima: IMASpec) -> "LayerSplit":
+        """Split a ``rows x cols`` weight matrix onto crossbars of ``ima``'s size."""
+        return cls(
+            weight_rows=weight_rows,
+            weight_cols=weight_cols,
+            crossbar_rows=ima.rows,
+            crossbar_cols=ima.cols,
+            n_row_splits=ima.row_splits(weight_rows),
+            n_col_splits=ima.col_splits(weight_cols),
+        )
+
+    @classmethod
+    def for_node(cls, node: Node, ima: IMASpec) -> Optional["LayerSplit"]:
+        """Split an analog graph node, or ``None`` for digital nodes."""
+        shape = node.weight_matrix_shape
+        if shape is None:
+            return None
+        rows, cols = shape
+        return cls.for_matrix(rows, cols, ima)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.weight_rows}x{self.weight_cols} weights -> "
+            f"{self.n_row_splits}x{self.n_col_splits} grid of "
+            f"{self.crossbar_rows}x{self.crossbar_cols} crossbars "
+            f"({self.n_crossbars} IMAs, {self.cell_utilization:.1%} cell use)"
+        )

@@ -1,0 +1,69 @@
+"""DNN frontend: graph IR, model zoo, reference numerics and quantisation."""
+
+from . import models
+from .builder import GraphBuilder
+from .graph import Graph, GraphError, Node
+from .layers import (
+    Add,
+    AvgPool2D,
+    Conv2D,
+    Flatten,
+    Input,
+    Layer,
+    LayerError,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    ANALOG_LAYER_KINDS,
+    DIGITAL_LAYER_KINDS,
+)
+from .numerics import (
+    LayerParameters,
+    ReferenceExecutor,
+    conv2d_reference,
+    im2col,
+    initialize_parameters,
+    random_input,
+)
+from .quantization import (
+    QuantizationSpec,
+    QuantizedTensor,
+    activation_scale,
+    quantization_rmse,
+    quantize,
+    quantize_graph_parameters,
+)
+from .tensor import TensorShape
+
+__all__ = [
+    "ANALOG_LAYER_KINDS",
+    "Add",
+    "AvgPool2D",
+    "Conv2D",
+    "DIGITAL_LAYER_KINDS",
+    "Flatten",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Input",
+    "Layer",
+    "LayerError",
+    "LayerParameters",
+    "Linear",
+    "MaxPool2D",
+    "Node",
+    "QuantizationSpec",
+    "QuantizedTensor",
+    "ReLU",
+    "ReferenceExecutor",
+    "TensorShape",
+    "activation_scale",
+    "conv2d_reference",
+    "im2col",
+    "initialize_parameters",
+    "models",
+    "quantization_rmse",
+    "quantize",
+    "quantize_graph_parameters",
+    "random_input",
+]

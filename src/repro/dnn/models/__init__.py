@@ -1,0 +1,21 @@
+"""Model zoo: the paper's workload plus baselines and synthetic networks."""
+
+from .mobilenet import mobilenet_v2
+from .resnet import resnet18, resnet34, resnet_cifar
+from .simple import linear_cnn, mlp, residual_chain, tiny_cnn, wide_layer_cnn
+from .vgg import vgg11, vgg13, vgg16
+
+__all__ = [
+    "linear_cnn",
+    "mlp",
+    "mobilenet_v2",
+    "residual_chain",
+    "resnet18",
+    "resnet34",
+    "resnet_cifar",
+    "tiny_cnn",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "wide_layer_cnn",
+]

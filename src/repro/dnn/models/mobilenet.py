@@ -1,0 +1,79 @@
+"""MobileNet-style model builders.
+
+MobileNetV2 is the workload of the single-cluster heterogeneous AIMC systems
+the paper positions itself against (Garofalo et al. [9], AnalogNets [10]):
+inverted-residual bottlenecks built from 1x1 expansions, depthwise 3x3
+convolutions and 1x1 projections.  Depthwise convolutions map poorly onto
+crossbars (each output channel only reuses ``K*K`` weights), so this model
+is a stress test for the local-mapping-efficiency analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..builder import GraphBuilder, ShapeLike
+from ..graph import Graph
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts to a multiple of ``divisor`` (MobileNet rule)."""
+    new_value = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def _inverted_residual(
+    builder: GraphBuilder,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    expand_ratio: int,
+) -> int:
+    """Append one MobileNetV2 inverted-residual block."""
+    block_input = builder.current
+    hidden = in_channels * expand_ratio
+    if expand_ratio != 1:
+        builder.conv2d(hidden, kernel_size=1, padding=0, relu=True)
+    builder.conv2d(hidden, kernel_size=3, stride=stride, groups=hidden, relu=True)
+    builder.conv2d(out_channels, kernel_size=1, padding=0, relu=False)
+    if stride == 1 and in_channels == out_channels:
+        return builder.add(block_input, relu=False)
+    return builder.current
+
+
+# (expand_ratio, out_channels, n_blocks, first_stride)
+_V2_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenet_v2(
+    input_shape: ShapeLike = (3, 224, 224),
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+) -> Graph:
+    """MobileNetV2 with the standard inverted-residual configuration."""
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    builder = GraphBuilder("mobilenet_v2", input_shape=input_shape)
+    in_channels = _make_divisible(32 * width_multiplier)
+    builder.conv2d(in_channels, kernel_size=3, stride=2, relu=True, name="stem")
+    for expand_ratio, channels, n_blocks, first_stride in _V2_SETTINGS:
+        out_channels = _make_divisible(channels * width_multiplier)
+        for block_index in range(n_blocks):
+            stride = first_stride if block_index == 0 else 1
+            _inverted_residual(builder, in_channels, out_channels, stride, expand_ratio)
+            in_channels = out_channels
+    last_channels = _make_divisible(1280 * max(1.0, width_multiplier))
+    builder.conv2d(last_channels, kernel_size=1, padding=0, relu=True, name="head")
+    builder.global_avg_pool()
+    builder.linear(num_classes, name="classifier")
+    return builder.build()

@@ -1,0 +1,106 @@
+"""Small synthetic networks used in tests, examples and unit benchmarks.
+
+These models are deliberately tiny so that the full flow (mapping, event
+simulation, analysis) completes in milliseconds, which keeps the test suite
+fast while still exercising every code path of the library (multi-cluster
+splits, residuals, reductions, digital layers).
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder, ShapeLike
+from ..graph import Graph
+
+
+def tiny_cnn(
+    input_shape: ShapeLike = (3, 32, 32),
+    num_classes: int = 10,
+    width: int = 16,
+) -> Graph:
+    """A 4-layer convolutional network with a single residual connection."""
+    builder = GraphBuilder("tiny_cnn", input_shape=input_shape)
+    builder.conv2d(width, kernel_size=3, stride=1, relu=True)
+    skip = builder.current
+    builder.conv2d(width, kernel_size=3, stride=1, relu=False)
+    builder.add(skip, relu=True)
+    builder.conv2d(2 * width, kernel_size=3, stride=2, relu=True)
+    builder.global_avg_pool()
+    builder.linear(num_classes)
+    return builder.build()
+
+
+def linear_cnn(
+    n_layers: int = 6,
+    input_shape: ShapeLike = (3, 64, 64),
+    width: int = 32,
+    num_classes: int = 10,
+) -> Graph:
+    """A purely sequential CNN (no residuals): the easiest pipelining case."""
+    if n_layers < 1:
+        raise ValueError("n_layers must be at least 1")
+    builder = GraphBuilder("linear_cnn", input_shape=input_shape)
+    channels = width
+    for index in range(n_layers):
+        stride = 2 if index % 2 == 1 else 1
+        builder.conv2d(channels, kernel_size=3, stride=stride, relu=True)
+        if stride == 2:
+            channels *= 2
+    builder.global_avg_pool()
+    builder.linear(num_classes)
+    return builder.build()
+
+
+def wide_layer_cnn(
+    input_shape: ShapeLike = (64, 16, 16),
+    channels: int = 512,
+    num_classes: int = 10,
+) -> Graph:
+    """A network with a single very wide layer.
+
+    The wide convolution needs both row and column splits on a 256x256
+    crossbar, so this model exercises the multi-cluster mapping and the
+    reduction-tree machinery with a minimal node count.
+    """
+    builder = GraphBuilder("wide_layer_cnn", input_shape=input_shape)
+    builder.conv2d(channels, kernel_size=3, stride=1, relu=True)
+    builder.conv2d(channels, kernel_size=3, stride=1, relu=True)
+    builder.global_avg_pool()
+    builder.linear(num_classes)
+    return builder.build()
+
+
+def residual_chain(
+    n_blocks: int = 3,
+    input_shape: ShapeLike = (3, 32, 32),
+    width: int = 16,
+    num_classes: int = 10,
+) -> Graph:
+    """A chain of residual blocks, for residual-management tests."""
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be at least 1")
+    builder = GraphBuilder("residual_chain", input_shape=input_shape)
+    builder.conv2d(width, kernel_size=3, relu=True)
+    for __ in range(n_blocks):
+        skip = builder.current
+        builder.conv2d(width, kernel_size=3, relu=True)
+        builder.conv2d(width, kernel_size=3, relu=False)
+        builder.add(skip, relu=True)
+    builder.global_avg_pool()
+    builder.linear(num_classes)
+    return builder.build()
+
+
+def mlp(
+    input_features: int = 256,
+    hidden: int = 512,
+    n_hidden_layers: int = 2,
+    num_classes: int = 10,
+) -> Graph:
+    """A fully-connected network (every layer is a pure MVM)."""
+    if n_hidden_layers < 0:
+        raise ValueError("n_hidden_layers cannot be negative")
+    builder = GraphBuilder("mlp", input_shape=(input_features, 1, 1))
+    for __ in range(n_hidden_layers):
+        builder.linear(hidden, relu=True)
+    builder.linear(num_classes)
+    return builder.build()

@@ -1,0 +1,76 @@
+"""VGG-style model builders.
+
+VGG-like networks have no residual connections, so they pipeline trivially
+on a data-flow many-core fabric — this is the class of networks earlier
+AIMC data-flow architectures (ISAAC, PUMA) were demonstrated on, and a
+useful baseline for the mapping experiments: comparing the pipeline balance
+of a VGG against ResNet-18 isolates the cost of residual management.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from ..builder import GraphBuilder, ShapeLike
+from ..graph import Graph
+
+# Standard VGG configurations: integers are conv output channels, "M" is a
+# 2x2 max pool.
+_CONFIGS: Dict[str, Tuple[Union[int, str], ...]] = {
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg13": (64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg16": (
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ),
+}
+
+
+def _vgg(
+    name: str,
+    config: Sequence[Union[int, str]],
+    input_shape: ShapeLike,
+    num_classes: int,
+    classifier_width: int,
+) -> Graph:
+    builder = GraphBuilder(name, input_shape=input_shape)
+    for item in config:
+        if item == "M":
+            builder.max_pool(kernel_size=2, stride=2)
+        else:
+            builder.conv2d(int(item), kernel_size=3, stride=1, relu=True)
+    builder.flatten()
+    builder.linear(classifier_width, relu=True)
+    builder.linear(classifier_width, relu=True)
+    builder.linear(num_classes)
+    return builder.build()
+
+
+def vgg11(
+    input_shape: ShapeLike = (3, 224, 224),
+    num_classes: int = 1000,
+    classifier_width: int = 4096,
+) -> Graph:
+    """VGG-11 (configuration A)."""
+    return _vgg("vgg11", _CONFIGS["vgg11"], input_shape, num_classes, classifier_width)
+
+
+def vgg13(
+    input_shape: ShapeLike = (3, 224, 224),
+    num_classes: int = 1000,
+    classifier_width: int = 4096,
+) -> Graph:
+    """VGG-13 (configuration B)."""
+    return _vgg("vgg13", _CONFIGS["vgg13"], input_shape, num_classes, classifier_width)
+
+
+def vgg16(
+    input_shape: ShapeLike = (3, 224, 224),
+    num_classes: int = 1000,
+    classifier_width: int = 4096,
+) -> Graph:
+    """VGG-16 (configuration D), the workload of ISAAC-style pipelines."""
+    return _vgg("vgg16", _CONFIGS["vgg16"], input_shape, num_classes, classifier_width)

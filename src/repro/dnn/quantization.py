@@ -1,0 +1,128 @@
+"""Weight and activation quantisation for PCM crossbar deployment.
+
+The paper assumes up to 8-bit-equivalent PCM cells and 8-bit DAC inputs;
+non-volatile AIMC requires the weights to be programmed once (static
+mapping), so quantisation happens offline, before deployment.  This module
+provides symmetric integer quantisation utilities used by the functional
+crossbar model (:mod:`repro.aimc`) and by the mapping engine to size the
+parameter footprint of every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Symmetric uniform quantisation parameters."""
+
+    bits: int = 8
+    per_channel: bool = False
+    #: axis along which per-channel scales are computed (output channels).
+    channel_axis: int = 0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 16:
+            raise ValueError("quantisation bits must be in 2..16")
+
+    @property
+    def q_max(self) -> int:
+        """Largest representable positive code (symmetric range)."""
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def q_min(self) -> int:
+        """Smallest representable code."""
+        return -self.q_max
+
+    @property
+    def n_levels(self) -> int:
+        """Number of distinct representable codes."""
+        return 2 * self.q_max + 1
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor plus the scale(s) needed to dequantise it."""
+
+    codes: np.ndarray
+    scale: np.ndarray  # scalar array or per-channel vector
+    spec: QuantizationSpec
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the floating-point tensor."""
+        scale = self.scale
+        if self.spec.per_channel and scale.ndim == 1:
+            shape = [1] * self.codes.ndim
+            shape[self.spec.channel_axis] = -1
+            scale = scale.reshape(shape)
+        return self.codes.astype(float) * scale
+
+    @property
+    def quantization_error(self) -> float:
+        """Root-mean-square error introduced by quantisation (needs original)."""
+        raise AttributeError(
+            "quantization_error is computed by quantize(); use the returned value"
+        )
+
+
+def _compute_scale(tensor: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    if spec.per_channel:
+        axes = tuple(i for i in range(tensor.ndim) if i != spec.channel_axis)
+        max_abs = np.max(np.abs(tensor), axis=axes)
+    else:
+        max_abs = np.asarray(np.max(np.abs(tensor)))
+    max_abs = np.where(max_abs == 0.0, 1.0, max_abs)
+    return max_abs / spec.q_max
+
+
+def quantize(tensor: np.ndarray, spec: Optional[QuantizationSpec] = None) -> QuantizedTensor:
+    """Quantise a floating-point tensor to symmetric integers."""
+    spec = spec if spec is not None else QuantizationSpec()
+    tensor = np.asarray(tensor, dtype=float)
+    scale = _compute_scale(tensor, spec)
+    if spec.per_channel and scale.ndim == 1:
+        shape = [1] * tensor.ndim
+        shape[spec.channel_axis] = -1
+        broadcast_scale = scale.reshape(shape)
+    else:
+        broadcast_scale = scale
+    codes = np.clip(np.round(tensor / broadcast_scale), spec.q_min, spec.q_max)
+    return QuantizedTensor(codes=codes.astype(np.int32), scale=np.asarray(scale), spec=spec)
+
+
+def quantization_rmse(tensor: np.ndarray, spec: Optional[QuantizationSpec] = None) -> float:
+    """Root-mean-square error introduced by quantising ``tensor``."""
+    quantized = quantize(tensor, spec)
+    reconstructed = quantized.dequantize()
+    return float(np.sqrt(np.mean((np.asarray(tensor, dtype=float) - reconstructed) ** 2)))
+
+
+def quantize_graph_parameters(
+    parameters: Dict[int, "LayerParameters"],  # noqa: F821 - forward ref to numerics
+    spec: Optional[QuantizationSpec] = None,
+) -> Dict[int, QuantizedTensor]:
+    """Quantise the weights of every analog layer of a graph.
+
+    The returned mapping is keyed by node id and holds the quantised weight
+    matrices in crossbar layout (``rows x cols``), ready to be programmed
+    into :class:`repro.aimc.crossbar.Crossbar` instances.
+    """
+    spec = spec if spec is not None else QuantizationSpec()
+    quantized: Dict[int, QuantizedTensor] = {}
+    for node_id, params in parameters.items():
+        quantized[node_id] = quantize(params.weight_matrix, spec)
+    return quantized
+
+
+def activation_scale(tensor: np.ndarray, spec: Optional[QuantizationSpec] = None) -> float:
+    """Scale factor mapping activations to the DAC input range."""
+    spec = spec if spec is not None else QuantizationSpec()
+    max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    return max_abs / spec.q_max

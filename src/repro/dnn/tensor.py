@@ -1,0 +1,78 @@
+"""Tensor shape descriptions used by the DNN graph IR.
+
+The mapping engine reasons about feature maps in ``(C, H, W)`` layout
+(channels, height, width), matching the convention the paper uses when it
+describes tiling along the ``W`` dimension and layer groups by IFM shape
+(e.g. ``256x256x3`` meaning ``H x W x C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """Shape of a feature map, in channels / height / width order."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"all dimensions must be positive, got {self}")
+
+    # ------------------------------------------------------------------ #
+    # Size helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_elements(self) -> int:
+        """Total number of elements in the tensor."""
+        return self.channels * self.height * self.width
+
+    def n_bytes(self, bytes_per_element: int = 1) -> int:
+        """Storage footprint; the paper streams 8-bit activations (1 byte)."""
+        if bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+        return self.n_elements * bytes_per_element
+
+    # ------------------------------------------------------------------ #
+    # Slicing helpers (data tiling along W, Sec. IV.4)
+    # ------------------------------------------------------------------ #
+    def with_width(self, width: int) -> "TensorShape":
+        """Same channels/height but a different width (one W-tile)."""
+        return TensorShape(self.channels, self.height, width)
+
+    def column_bytes(self, bytes_per_element: int = 1) -> int:
+        """Bytes of a single W-column (all channels, all rows, one column)."""
+        return self.channels * self.height * bytes_per_element
+
+    # ------------------------------------------------------------------ #
+    # Conversions / formatting
+    # ------------------------------------------------------------------ #
+    @property
+    def chw(self) -> Tuple[int, int, int]:
+        """Shape as a ``(C, H, W)`` tuple."""
+        return (self.channels, self.height, self.width)
+
+    @property
+    def hwc(self) -> Tuple[int, int, int]:
+        """Shape as a ``(H, W, C)`` tuple (the paper's figure labels)."""
+        return (self.height, self.width, self.channels)
+
+    @classmethod
+    def from_chw(cls, chw: Iterable[int]) -> "TensorShape":
+        """Build a shape from a ``(C, H, W)`` iterable."""
+        channels, height, width = tuple(chw)
+        return cls(channels, height, width)
+
+    @classmethod
+    def from_hwc(cls, hwc: Iterable[int]) -> "TensorShape":
+        """Build a shape from a ``(H, W, C)`` iterable."""
+        height, width, channels = tuple(hwc)
+        return cls(channels, height, width)
+
+    def __str__(self) -> str:
+        return f"{self.height}x{self.width}x{self.channels}"

@@ -1,0 +1,122 @@
+"""High-level one-call API: map a network, simulate it, analyse the result.
+
+Most users only need :func:`run_inference` (one mapping level) or
+:func:`run_optimization_study` (the naive / replicated / final comparison of
+Fig. 5A):
+
+.. code-block:: python
+
+    from repro import ArchConfig, models, run_inference
+
+    report = run_inference(models.resnet18(), ArchConfig.paper(), batch_size=16)
+    print(report.metrics.throughput_tops)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .analysis.breakdown import ClusterBreakdownRow, cluster_breakdown
+from .analysis.efficiency import GroupEfficiencyRow, group_area_efficiency
+from .analysis.metrics import PerformanceMetrics, compute_metrics
+from .analysis.report import format_comparison, format_full_report
+from .analysis.waterfall import Waterfall, compute_waterfall
+from .arch.config import ArchConfig
+from .core.mapping import NetworkMapping
+from .core.optimizer import MappingOptimizer, OptimizationLevel
+from .core.pipeline import lower_to_workload
+from .dnn.graph import Graph
+from .sim.system import SimulationResult, simulate
+from .sim.workload import Workload
+
+
+@dataclass
+class InferenceReport:
+    """Everything produced by one end-to-end run of the flow."""
+
+    level: OptimizationLevel
+    mapping: NetworkMapping
+    workload: Workload
+    result: SimulationResult
+    metrics: PerformanceMetrics
+    waterfall: Optional[Waterfall] = None
+    breakdown: List[ClusterBreakdownRow] = field(default_factory=list)
+    group_efficiency: List[GroupEfficiencyRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Human-readable report combining all computed analyses."""
+        return format_full_report(
+            self.metrics,
+            waterfall=self.waterfall,
+            breakdown_rows=self.breakdown or None,
+            efficiency_rows=self.group_efficiency or None,
+        )
+
+
+def run_inference(
+    graph: Graph,
+    arch: Optional[ArchConfig] = None,
+    batch_size: int = 16,
+    level: OptimizationLevel = OptimizationLevel.FINAL,
+    with_waterfall: bool = False,
+    with_breakdown: bool = True,
+    with_group_efficiency: bool = False,
+    optimizer: Optional[MappingOptimizer] = None,
+) -> InferenceReport:
+    """Map ``graph`` on ``arch``, simulate a batch, and analyse the result."""
+    arch = arch if arch is not None else ArchConfig.paper()
+    if optimizer is None:
+        optimizer = MappingOptimizer(graph, arch, batch_size=batch_size)
+    mapping = optimizer.build(level)
+    workload = lower_to_workload(mapping)
+    result = simulate(arch, workload)
+    metrics = compute_metrics(result, mapping, name=f"{graph.name}-{level.value}")
+
+    waterfall = None
+    group_efficiency: List[GroupEfficiencyRow] = []
+    if with_waterfall or with_group_efficiency:
+        compute_only = simulate(arch, lower_to_workload(mapping, zero_communication=True))
+        if with_waterfall:
+            waterfall = compute_waterfall(
+                mapping, full_result=result, compute_only_result=compute_only
+            )
+        if with_group_efficiency:
+            group_efficiency = group_area_efficiency(mapping, compute_only)
+    breakdown = cluster_breakdown(result, mapping) if with_breakdown else []
+
+    return InferenceReport(
+        level=level,
+        mapping=mapping,
+        workload=workload,
+        result=result,
+        metrics=metrics,
+        waterfall=waterfall,
+        breakdown=breakdown,
+        group_efficiency=group_efficiency,
+    )
+
+
+def run_optimization_study(
+    graph: Graph,
+    arch: Optional[ArchConfig] = None,
+    batch_size: int = 16,
+    levels: Optional[List[OptimizationLevel]] = None,
+    **kwargs,
+) -> Dict[OptimizationLevel, InferenceReport]:
+    """Run the naive / replicated / final comparison of Fig. 5A."""
+    arch = arch if arch is not None else ArchConfig.paper()
+    levels = levels if levels is not None else list(OptimizationLevel.all())
+    optimizer = MappingOptimizer(graph, arch, batch_size=batch_size)
+    return {
+        level: run_inference(
+            graph, arch, batch_size=batch_size, level=level, optimizer=optimizer, **kwargs
+        )
+        for level in levels
+    }
+
+
+def format_study(reports: Dict[OptimizationLevel, InferenceReport]) -> str:
+    """Comparison table of an optimisation study."""
+    ordered = [reports[level] for level in OptimizationLevel.all() if level in reports]
+    return format_comparison([report.metrics for report in ordered])

@@ -1,0 +1,46 @@
+"""Event-driven system simulator (the GVSOC substitute)."""
+
+from .cluster_model import ClusterModel, L1OverflowError
+from .engine import Barrier, CreditStore, Engine, Server, SimulationError
+from .ima_model import IMAJob, IMATimingModel
+from .noc import LinkPool, NocModel, TransferRequest
+from .system import SimulationResult, SystemSimulator, simulate
+from .tracer import CATEGORIES, ClusterActivity, StageActivity, Tracer
+from .workload import (
+    DataFlow,
+    ENDPOINT_HBM,
+    ENDPOINT_STAGE,
+    ENDPOINT_STORAGE,
+    StageCost,
+    StageDescriptor,
+    Workload,
+)
+
+__all__ = [
+    "Barrier",
+    "CATEGORIES",
+    "ClusterActivity",
+    "ClusterModel",
+    "CreditStore",
+    "DataFlow",
+    "ENDPOINT_HBM",
+    "ENDPOINT_STAGE",
+    "ENDPOINT_STORAGE",
+    "Engine",
+    "IMAJob",
+    "IMATimingModel",
+    "L1OverflowError",
+    "LinkPool",
+    "NocModel",
+    "Server",
+    "SimulationError",
+    "SimulationResult",
+    "StageActivity",
+    "StageCost",
+    "StageDescriptor",
+    "SystemSimulator",
+    "Tracer",
+    "TransferRequest",
+    "Workload",
+    "simulate",
+]

@@ -1,0 +1,259 @@
+"""Discrete-event simulation kernel.
+
+The paper evaluates its architecture on GVSOC, a C++ event-based simulator.
+This module is the Python substitute: a small, dependency-free event kernel
+with the three primitives the system model needs:
+
+* :class:`Engine` — the event queue and simulated clock (in cycles);
+* :class:`Server` — a capacity-limited FIFO resource that serves jobs with a
+  caller-specified duration (used for IMAs, core complexes, DMA engines,
+  NoC links and HBM channels);
+* :class:`CreditStore` — a counter-based credit/token mechanism used for the
+  bounded buffers that implement the self-timed flow control between
+  pipeline stages.
+
+Timing is expressed in integer cycles of the 1 GHz system clock; the engine
+itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+from collections import deque
+
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation primitives."""
+
+
+class Engine:
+    """Event queue and simulated clock."""
+
+    def __init__(self):
+        self._queue: List[Tuple[int, int, Callback]] = []
+        self._counter = itertools.count()
+        self._now = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> int:
+        """Current simulated time, in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostic)."""
+        return self._events_processed
+
+    def at(self, time: int, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._queue, (int(time), next(self._counter), callback))
+
+    def after(self, delay: int, callback: Callback) -> None:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"delay cannot be negative, got {delay}")
+        self.at(self._now + int(delay), callback)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``until`` / ``max_events`` is hit).
+
+        Returns the simulated time at which the run stopped.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                time, __, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def empty(self) -> bool:
+        """Whether no events remain."""
+        return not self._queue
+
+
+@dataclass
+class _ServerJob:
+    duration: int
+    on_done: Callback
+    enqueued_at: int
+
+
+class Server:
+    """A FIFO resource with ``capacity`` parallel service slots.
+
+    Jobs are submitted with :meth:`submit`; when a slot is free the job is
+    "serviced" for its duration and the completion callback fires.  The
+    server keeps busy-time and queueing statistics used by the tracer.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("server capacity must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._in_service = 0
+        self._waiting: Deque[_ServerJob] = deque()
+        # statistics
+        self.busy_time = 0
+        self.jobs_served = 0
+        self.total_wait = 0
+        self.total_service = 0
+        self._busy_slot_time = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_service(self) -> int:
+        """Number of jobs currently being serviced."""
+        return self._in_service
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting for a slot."""
+        return len(self._waiting)
+
+    @property
+    def utilization_time(self) -> int:
+        """Accumulated slot-busy time (slot-cycles)."""
+        return self._busy_slot_time
+
+    def submit(self, duration: int, on_done: Callback) -> None:
+        """Submit a job needing ``duration`` cycles of service."""
+        if duration < 0:
+            raise SimulationError("job duration cannot be negative")
+        job = _ServerJob(int(duration), on_done, self.engine.now)
+        self._waiting.append(job)
+        self._try_start()
+
+    # ------------------------------------------------------------------ #
+    def _try_start(self) -> None:
+        while self._waiting and self._in_service < self.capacity:
+            job = self._waiting.popleft()
+            self._in_service += 1
+            wait = self.engine.now - job.enqueued_at
+            self.total_wait += wait
+            self.total_service += job.duration
+            self._busy_slot_time += job.duration
+            self.engine.after(job.duration, lambda j=job: self._finish(j))
+
+    def _finish(self, job: _ServerJob) -> None:
+        self._in_service -= 1
+        self.jobs_served += 1
+        job.on_done()
+        self._try_start()
+
+
+class CreditStore:
+    """Counting semaphore used for credit-based (bounded-buffer) flow control.
+
+    A producer acquires one credit before pushing a chunk towards a
+    consumer; the consumer returns the credit when the chunk has been
+    consumed and its L1 slot freed.  An initial credit count of 2 models the
+    double-buffered tiles of the paper's execution model.
+    """
+
+    def __init__(self, engine: Engine, name: str, initial: int = 2):
+        if initial < 0:
+            raise SimulationError("initial credit count cannot be negative")
+        self.engine = engine
+        self.name = name
+        self._credits = initial
+        self._waiting: Deque[Callback] = deque()
+        # statistics
+        self.total_wait = 0
+        self.acquisitions = 0
+        self._wait_since: Deque[int] = deque()
+
+    @property
+    def available(self) -> int:
+        """Credits currently available."""
+        return self._credits
+
+    @property
+    def waiters(self) -> int:
+        """Number of producers blocked waiting for a credit."""
+        return len(self._waiting)
+
+    def acquire(self, callback: Callback) -> None:
+        """Take one credit, calling ``callback`` when it is granted."""
+        if self._credits > 0 and not self._waiting:
+            self._credits -= 1
+            self.acquisitions += 1
+            callback()
+        else:
+            self._waiting.append(callback)
+            self._wait_since.append(self.engine.now)
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` credits, waking blocked producers in FIFO order."""
+        if amount < 0:
+            raise SimulationError("cannot release a negative credit amount")
+        self._credits += amount
+        while self._credits > 0 and self._waiting:
+            callback = self._waiting.popleft()
+            started = self._wait_since.popleft()
+            self.total_wait += self.engine.now - started
+            self._credits -= 1
+            self.acquisitions += 1
+            callback()
+
+
+class Barrier:
+    """Calls a callback once ``count`` events have arrived.
+
+    Used to join the multiple input transfers of one pipeline job (e.g. a
+    residual addition waiting for both operands).
+    """
+
+    def __init__(self, count: int, on_complete: Callback):
+        if count < 0:
+            raise SimulationError("barrier count cannot be negative")
+        self._remaining = count
+        self._on_complete = on_complete
+        self._fired = False
+        if count == 0:
+            self._fire()
+
+    def arrive(self) -> None:
+        """Signal one arrival."""
+        if self._fired:
+            raise SimulationError("barrier already completed")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire()
+        elif self._remaining < 0:  # pragma: no cover - guarded above
+            raise SimulationError("too many arrivals at barrier")
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._on_complete()
+
+    @property
+    def done(self) -> bool:
+        """Whether the barrier has completed."""
+        return self._fired

@@ -1,0 +1,215 @@
+"""Contention-aware model of the hierarchical interconnect and the HBM.
+
+The structural topology (which links exist, which route a transfer takes)
+comes from :class:`repro.arch.interconnect.QuadrantTopology`; this module
+attaches a :class:`repro.sim.engine.Server` to every directed link and to
+every HBM channel so that concurrent transfers contend for them, which is
+the mechanism behind the communication bottlenecks of Sec. V.4 and VI.
+
+A transfer over a route:
+
+1. waits until every link of the route is free (links are acquired in a
+   canonical order to avoid deadlock),
+2. holds all of them for the serialisation time ``ceil(bytes / width)``,
+3. completes after an additional zero-load hop latency.
+
+Transfers from/to HBM additionally occupy one HBM channel (chosen by a
+round-robin over the least-loaded channels) for the serialisation time plus
+the 100-cycle access latency of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.config import ArchConfig
+from ..arch.interconnect import QuadrantTopology, Route
+from .engine import Callback, Engine, Server
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One DMA transfer through the system interconnect."""
+
+    src_cluster: Optional[int]  # None when the source is the HBM
+    dst_cluster: Optional[int]  # None when the destination is the HBM
+    n_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_bytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        if self.src_cluster is None and self.dst_cluster is None:
+            raise ValueError("a transfer needs at least one on-chip endpoint")
+
+    @property
+    def involves_hbm(self) -> bool:
+        """Whether the transfer reads from or writes to the HBM."""
+        return self.src_cluster is None or self.dst_cluster is None
+
+    @property
+    def is_local(self) -> bool:
+        """Whether source and destination are the same cluster (L1-local copy)."""
+        return (
+            self.src_cluster is not None
+            and self.dst_cluster is not None
+            and self.src_cluster == self.dst_cluster
+        )
+
+
+class LinkPool:
+    """Lazily-created :class:`Server` per directed link of the topology."""
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+        self._links: Dict[str, Server] = {}
+
+    def get(self, name: str) -> Server:
+        """Return the server modelling one directed link."""
+        if name not in self._links:
+            self._links[name] = Server(self._engine, name, capacity=1)
+        return self._links[name]
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def busy_cycles(self) -> Dict[str, int]:
+        """Busy cycles accumulated on every instantiated link."""
+        return {name: server.utilization_time for name, server in self._links.items()}
+
+
+class NocModel:
+    """Event-driven model of the quadrant NoC plus the HBM controller."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        arch: ArchConfig,
+        tracer: Optional[Tracer] = None,
+        model_contention: bool = True,
+    ):
+        self.engine = engine
+        self.arch = arch
+        self.topology: QuadrantTopology = arch.topology()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.model_contention = model_contention
+        self.links = LinkPool(engine)
+        self.hbm_channels = [
+            Server(engine, f"hbm_channel[{i}]", capacity=1)
+            for i in range(arch.hbm.n_channels)
+        ]
+        self._hbm_next_channel = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def transfer(self, request: TransferRequest, on_done: Callback) -> None:
+        """Perform a transfer, calling ``on_done`` when the data has landed."""
+        if request.n_bytes == 0 or request.is_local:
+            # Local (same-cluster) handoffs do not touch the NoC; they are
+            # plain L1-to-L1 copies accounted to the DMA by the caller.
+            self.tracer.record_transfer(request.n_bytes, 0, local=True)
+            self.engine.after(0, on_done)
+            return
+        route = self._route_for(request)
+        serialization = route.serialization_cycles(request.n_bytes)
+        # HBM transfers occupy a controller channel for one access latency per
+        # DMA burst plus the serialisation of the payload (closed-page model).
+        hbm_extra = 0
+        if request.involves_hbm:
+            hbm_extra = self.arch.hbm.service_cycles(request.n_bytes) - serialization
+        self.tracer.record_transfer(
+            request.n_bytes,
+            route.n_hops,
+            to_hbm=request.involves_hbm,
+            links=route.links,
+            busy_cycles=serialization,
+        )
+        if not self.model_contention:
+            total = route.hop_latency_cycles + serialization + hbm_extra
+            self.engine.after(total, on_done)
+            return
+        self._acquire_links(route, request, serialization, hbm_extra, on_done)
+
+    def estimate_cycles(self, request: TransferRequest) -> int:
+        """Zero-load latency estimate of a transfer (no contention)."""
+        if request.n_bytes == 0 or request.is_local:
+            return 0
+        route = self._route_for(request)
+        extra = 0
+        if request.involves_hbm:
+            extra = self.arch.hbm.service_cycles(request.n_bytes) - route.serialization_cycles(
+                request.n_bytes
+            )
+        return route.zero_load_cycles(request.n_bytes) + max(0, extra)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _route_for(self, request: TransferRequest) -> Route:
+        if request.src_cluster is None:
+            return self.topology.route_from_hbm(request.dst_cluster)  # type: ignore[arg-type]
+        if request.dst_cluster is None:
+            return self.topology.route_to_hbm(request.src_cluster)
+        return self.topology.route(request.src_cluster, request.dst_cluster)
+
+    def _acquire_links(
+        self,
+        route: Route,
+        request: TransferRequest,
+        serialization: int,
+        hbm_extra: int,
+        on_done: Callback,
+    ) -> None:
+        """Occupy every link of the route, then any HBM channel.
+
+        The burst traverses the route in a cut-through fashion: every link
+        is occupied for the serialisation time of the whole burst, the
+        occupations proceed concurrently, and the transfer completes one
+        hop-latency after the slowest link (and, for HBM transfers, the HBM
+        channel) has drained it.  Contention therefore appears as queueing
+        on shared upper-level links and on the HBM channels, which is the
+        effect the paper's communication analysis cares about.
+        """
+        from .engine import Barrier
+
+        n_resources = len(route.links) + (1 if request.involves_hbm else 0)
+
+        def all_drained() -> None:
+            self.engine.after(route.hop_latency_cycles, on_done)
+
+        barrier = Barrier(n_resources, all_drained)
+        for link_name in route.links:
+            self.links.get(link_name).submit(serialization, barrier.arrive)
+        if request.involves_hbm:
+            channel = self._pick_hbm_channel()
+            channel.submit(serialization + hbm_extra, barrier.arrive)
+
+    def _pick_hbm_channel(self) -> Server:
+        """Round-robin over HBM channels, preferring idle ones."""
+        channels = self.hbm_channels
+        start = self._hbm_next_channel
+        best = None
+        for offset in range(len(channels)):
+            candidate = channels[(start + offset) % len(channels)]
+            if candidate.in_service == 0 and candidate.queue_length == 0:
+                best = candidate
+                self._hbm_next_channel = (start + offset + 1) % len(channels)
+                break
+        if best is None:
+            best = min(channels, key=lambda ch: ch.queue_length + ch.in_service)
+            self._hbm_next_channel = (start + 1) % len(channels)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def hbm_busy_cycles(self) -> int:
+        """Total busy cycles accumulated over all HBM channels."""
+        return sum(channel.utilization_time for channel in self.hbm_channels)
+
+    def link_busy_cycles(self) -> Dict[str, int]:
+        """Busy cycles of every link that carried traffic."""
+        return self.links.busy_cycles()

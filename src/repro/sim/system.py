@@ -1,0 +1,544 @@
+"""System-level simulator: executes a :class:`~repro.sim.workload.Workload`.
+
+The simulator implements the self-timed, credit-based data-flow execution
+model of Sec. IV.5 on top of the event kernel:
+
+* every pipeline stage owns an *analog* server (capacity = number of
+  replicas) and a *digital* server (capacity = number of digital slots);
+* producers push tiles to consumers through the contention-aware NoC model,
+  but only after acquiring a credit from the consumer's double-buffered
+  input slot, which is how back-pressure propagates;
+* residual tensors routed through the HBM or through a spare cluster's L1
+  (Sec. V.4) generate two transfers — a write at production time and a
+  read just before consumption — so their traffic lands on the HBM
+  controller or on the NoC exactly as in the paper;
+* every activity is attributed to clusters through the
+  :class:`~repro.sim.tracer.Tracer`, producing the per-cluster breakdowns
+  of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import ArchConfig
+from .engine import Barrier, CreditStore, Engine, Server, SimulationError
+from .noc import NocModel, TransferRequest
+from .tracer import Tracer
+from .workload import (
+    DataFlow,
+    ENDPOINT_HBM,
+    ENDPOINT_STAGE,
+    ENDPOINT_STORAGE,
+    StageDescriptor,
+    Workload,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Everything the analysis layer needs from one simulated run."""
+
+    workload: Workload
+    arch: ArchConfig
+    makespan_cycles: int
+    tracer: Tracer
+    #: jobs completed per stage (should equal n_jobs everywhere).
+    jobs_completed: Dict[int, int] = field(default_factory=dict)
+    model_contention: bool = True
+
+    @property
+    def makespan_seconds(self) -> float:
+        """End-to-end latency of the batch, in seconds."""
+        return self.makespan_cycles * self.arch.cycle_time_ns * 1e-9
+
+    @property
+    def makespan_ms(self) -> float:
+        """End-to-end latency of the batch, in milliseconds."""
+        return self.makespan_seconds * 1e3
+
+    @property
+    def completed(self) -> bool:
+        """Whether every stage processed every job."""
+        return all(
+            count == self.workload.n_jobs for count in self.jobs_completed.values()
+        )
+
+    def steady_state_cycles_per_job(self) -> float:
+        """Observed cycles per job once the pipeline is full (approximation).
+
+        The head and tail of the pipeline (filling and draining, visible as
+        the latency staircase of Fig. 5D) are excluded by construction:
+        dividing the makespan by the job count over-estimates the
+        steady-state interval, so we use the difference between the last two
+        job completion times of the final stage when available.
+        """
+        return self.makespan_cycles / max(1, self.workload.n_jobs)
+
+
+class _StageRuntime:
+    """Mutable per-stage state during a simulation run."""
+
+    def __init__(self, sim: "SystemSimulator", descriptor: StageDescriptor):
+        self.sim = sim
+        self.desc = descriptor
+        engine = sim.engine
+        self.analog_server = Server(
+            engine,
+            f"stage[{descriptor.stage_id}].analog",
+            capacity=descriptor.replication,
+        )
+        self.digital_server = Server(
+            engine,
+            f"stage[{descriptor.stage_id}].digital",
+            capacity=descriptor.digital_slots,
+        )
+        #: per-input-flow credit stores (double-buffered tiles).  Each analog
+        #: replica (and each digital slot) owns its own pair of input
+        #: buffers, so the credit count scales with the stage's parallelism;
+        #: otherwise data-replication could never overlap more than
+        #: ``buffer_depth`` jobs.
+        parallelism = max(descriptor.replication, descriptor.digital_slots)
+        self.input_credits: List[CreditStore] = [
+            CreditStore(
+                engine,
+                f"stage[{descriptor.stage_id}].in[{i}]",
+                (flow.buffer_depth if flow.buffer_depth is not None else sim.buffer_depth)
+                * parallelism,
+            )
+            for i, flow in enumerate(descriptor.inputs)
+        ]
+        #: bounded output slots: a job may only start when fewer than
+        #: ``buffer_depth x parallelism`` previous jobs still have undelivered
+        #: outputs.  This is condition (b) of the paper's self-timed rule
+        #: ("the consumers are ready to accept the output data of chunk N-1").
+        self.output_slots = CreditStore(
+            engine,
+            f"stage[{descriptor.stage_id}].out_slots",
+            sim.buffer_depth * parallelism,
+        )
+        #: per-input-flow count of delivered jobs.
+        self.delivered: List[int] = [0] * len(descriptor.inputs)
+        self.next_job = 0
+        self.jobs_completed = 0
+        self._digital_groups = self._partition_digital()
+        # register for per-stage statistics
+        sim.tracer.stage(descriptor.stage_id, descriptor.name)
+
+    # ------------------------------------------------------------------ #
+    def _partition_digital(self) -> List[Tuple[int, ...]]:
+        clusters = self.desc.digital_clusters
+        slots = self.desc.digital_slots
+        if not clusters:
+            return [()] * slots
+        groups: List[Tuple[int, ...]] = []
+        per_group = max(1, math.ceil(len(clusters) / slots))
+        for index in range(slots):
+            group = clusters[index * per_group : (index + 1) * per_group]
+            groups.append(tuple(group) if group else (clusters[-1],))
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Input side
+    # ------------------------------------------------------------------ #
+    def deliver(self, flow_index: int, job_index: int) -> None:
+        """Record the arrival of one input tile and start jobs if possible.
+
+        Tiles of the same flow are interchangeable in cost, so only the
+        arrival *count* matters; minor reordering introduced by the NoC does
+        not affect the timing model.
+        """
+        self.delivered[flow_index] += 1
+        self._try_start()
+
+    def _inputs_ready(self, job_index: int) -> bool:
+        if not self.desc.inputs:
+            return True
+        return all(count > job_index for count in self.delivered)
+
+    def _try_start(self) -> None:
+        while self.next_job < self.sim.workload.n_jobs and self._inputs_ready(self.next_job):
+            job_index = self.next_job
+            self.next_job += 1
+            self.output_slots.acquire(lambda j=job_index: self._start_job(j))
+
+    # ------------------------------------------------------------------ #
+    # Compute
+    # ------------------------------------------------------------------ #
+    def _start_job(self, job_index: int) -> None:
+        start = self.sim.engine.now
+        if self.desc.is_analog:
+            duration = self.desc.cost.analog_cycles_per_job
+            replica = self.desc.analog_replicas[job_index % self.desc.replication]
+            self.analog_server.submit(
+                duration,
+                lambda: self._after_analog(job_index, start, duration, replica),
+            )
+        else:
+            self._run_digital(job_index, start, analog_cycles=0)
+
+    def _after_analog(
+        self, job_index: int, start: int, duration: int, replica: Tuple[int, ...]
+    ) -> None:
+        now = self.sim.engine.now
+        for cluster in replica:
+            self.sim.tracer.record_cluster(cluster, "analog", duration, now)
+            self.sim.tracer.record_job(cluster)
+        intra = self.desc.cost.intra_stage_bytes_per_job
+        if intra > 0 and self.desc.digital_clusters:
+            src = replica[0] if replica else self.desc.io_cluster
+            dst = self.desc.digital_clusters[0]
+            self.sim.send_bytes(
+                src,
+                dst,
+                intra,
+                lambda: self._run_digital(job_index, start, duration),
+            )
+        else:
+            self._run_digital(job_index, start, duration)
+
+    def _run_digital(self, job_index: int, start: int, analog_cycles: int) -> None:
+        duration = self.desc.cost.digital_cycles_per_job
+        if duration <= 0:
+            self._after_compute(job_index, start, analog_cycles, 0)
+            return
+        group = self._digital_groups[job_index % self.desc.digital_slots]
+
+        def done() -> None:
+            now = self.sim.engine.now
+            for cluster in group:
+                self.sim.tracer.record_cluster(cluster, "digital", duration, now)
+            self._after_compute(job_index, start, analog_cycles, duration)
+
+        self.digital_server.submit(duration, done)
+
+    # ------------------------------------------------------------------ #
+    # Output side
+    # ------------------------------------------------------------------ #
+    def _after_compute(
+        self, job_index: int, start: int, analog_cycles: int, digital_cycles: int
+    ) -> None:
+        now = self.sim.engine.now
+        self.sim.tracer.record_stage_job(
+            self.desc.stage_id, start, now, analog_cycles, digital_cycles
+        )
+        # The compute has consumed its input tiles: their L1 slots are free,
+        # so producers may push the next chunk (condition (a) of the
+        # self-timed rule).
+        for credit in self.input_credits:
+            credit.release()
+        outputs = self.desc.outputs
+        if not outputs:
+            self._job_done(job_index)
+            return
+        barrier = Barrier(len(outputs), lambda: self._job_done(job_index))
+        for flow in outputs:
+            self.sim.route_output(self, flow, job_index, barrier.arrive)
+
+    def _job_done(self, job_index: int) -> None:
+        self.jobs_completed += 1
+        # The job's outputs have been handed to their consumers: its output
+        # buffer slot is free again.
+        self.output_slots.release()
+        self.sim.job_finished(self.desc.stage_id, job_index)
+
+
+class SystemSimulator:
+    """Executes a workload on an architecture configuration."""
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        workload: Workload,
+        model_contention: bool = True,
+        buffer_depth: int = 2,
+    ):
+        workload.validate(arch.n_clusters)
+        self.arch = arch
+        self.workload = workload
+        self.buffer_depth = buffer_depth
+        self.engine = Engine()
+        self.tracer = Tracer()
+        self.noc = NocModel(
+            self.engine, arch, tracer=self.tracer, model_contention=model_contention
+        )
+        self.model_contention = model_contention
+        self._dma_servers: Dict[int, Server] = {}
+        self._stages: Dict[int, _StageRuntime] = {}
+        self._finished_stages = 0
+        self._last_completion_cycle = 0
+        # Map (kind, label) of relayed flows (HBM / storage residuals) to the
+        # consumer stage and flow index expecting them.
+        self._relay_targets: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        for descriptor in self.workload.stages:
+            self._stages[descriptor.stage_id] = _StageRuntime(self, descriptor)
+        for descriptor in self.workload.stages:
+            for flow_index, flow in enumerate(descriptor.inputs):
+                if flow.kind in (ENDPOINT_HBM, ENDPOINT_STORAGE):
+                    self._relay_targets[(flow.kind, flow.label)] = (
+                        descriptor.stage_id,
+                        flow_index,
+                    )
+        # Kick off externally-fed inputs (network IFM fetched from HBM) for
+        # flows that no producer stage relays.
+        produced_labels = {
+            (flow.kind, flow.label)
+            for descriptor in self.workload.stages
+            for flow in descriptor.outputs
+            if flow.kind in (ENDPOINT_HBM, ENDPOINT_STORAGE)
+        }
+        for descriptor in self.workload.stages:
+            runtime = self._stages[descriptor.stage_id]
+            for flow_index, flow in enumerate(descriptor.inputs):
+                if flow.kind == ENDPOINT_STAGE:
+                    continue
+                if (flow.kind, flow.label) in produced_labels:
+                    continue
+                self._start_external_feed(runtime, flow_index, flow)
+
+    def _start_external_feed(
+        self, runtime: _StageRuntime, flow_index: int, flow: DataFlow
+    ) -> None:
+        """Feed a stage input directly from the HBM (the network input)."""
+
+        def fetch(job_index: int) -> None:
+            if job_index >= self.workload.n_jobs:
+                return
+
+            def granted() -> None:
+                dst = runtime.desc.io_cluster
+                request = TransferRequest(None, dst, flow.bytes_per_job)
+
+                def delivered() -> None:
+                    self._attribute_communication(dst, flow.bytes_per_job)
+                    runtime.deliver(flow_index, job_index)
+                    fetch(job_index + 1)
+
+                self.noc.transfer(request, delivered)
+
+            runtime.input_credits[flow_index].acquire(granted)
+
+        fetch(0)
+
+    # ------------------------------------------------------------------ #
+    # Data movement helpers
+    # ------------------------------------------------------------------ #
+    def _dma_server(self, cluster: int) -> Server:
+        if cluster not in self._dma_servers:
+            self._dma_servers[cluster] = Server(
+                self.engine,
+                f"cluster[{cluster}].dma",
+                capacity=self.arch.cluster.dma_channels,
+            )
+        return self._dma_servers[cluster]
+
+    def _dma_cycles(self, n_bytes: int) -> int:
+        if n_bytes <= 0:
+            return 0
+        spec = self.arch.cluster
+        return spec.cores.dma_config_cycles + math.ceil(
+            n_bytes / spec.dma_bandwidth_bytes_per_cycle
+        )
+
+    def _attribute_communication(self, cluster: Optional[int], n_bytes: int) -> None:
+        if cluster is None:
+            return
+        cycles = math.ceil(n_bytes / self.arch.cluster.dma_bandwidth_bytes_per_cycle)
+        self.tracer.record_cluster(cluster, "communication", cycles, self.engine.now)
+
+    def send_bytes(
+        self, src: Optional[int], dst: Optional[int], n_bytes: int, on_done
+    ) -> None:
+        """Move ``n_bytes`` from ``src`` to ``dst`` (cluster ids or ``None`` = HBM)."""
+        if n_bytes <= 0:
+            self.engine.after(0, on_done)
+            return
+
+        def start_noc() -> None:
+            request = TransferRequest(src, dst, n_bytes)
+
+            def finished() -> None:
+                self._attribute_communication(dst, n_bytes)
+                on_done()
+
+            self.noc.transfer(request, finished)
+
+        if src is not None:
+            duration = self._dma_cycles(n_bytes)
+            self.tracer.record_cluster(
+                src, "communication", duration, self.engine.now + duration
+            )
+            self._dma_server(src).submit(duration, start_noc)
+        else:
+            start_noc()
+
+    def send_chunked(
+        self,
+        src: Optional[int],
+        dst: Optional[int],
+        n_bytes: int,
+        n_chunks: int,
+        on_done,
+    ) -> None:
+        """Move ``n_bytes`` as ``n_chunks`` independent transfers.
+
+        Each chunk is a separate DMA burst paying its own access latency at
+        the destination; chunks are issued concurrently and ``on_done``
+        fires when the last one lands.
+        """
+        if n_bytes <= 0 or n_chunks <= 1:
+            self.send_bytes(src, dst, n_bytes, on_done)
+            return
+        chunk = math.ceil(n_bytes / n_chunks)
+        barrier = Barrier(n_chunks, on_done)
+        remaining = n_bytes
+        for __ in range(n_chunks):
+            size = min(chunk, remaining)
+            remaining -= size
+            self.send_bytes(src, dst, max(1, size), barrier.arrive)
+
+    # ------------------------------------------------------------------ #
+    # Output routing
+    # ------------------------------------------------------------------ #
+    def route_output(
+        self, runtime: _StageRuntime, flow: DataFlow, job_index: int, on_done
+    ) -> None:
+        """Deliver one output flow of one job to its destination."""
+        src = runtime.desc.io_cluster
+        if flow.kind == ENDPOINT_STAGE:
+            consumer = self._stages[flow.stage_id]
+            flow_index = self._consumer_flow_index(consumer, runtime.desc.stage_id)
+            self._send_with_credit(
+                src,
+                consumer,
+                flow_index,
+                flow.bytes_per_job,
+                job_index,
+                on_done,
+                n_chunks=flow.transfers_per_job,
+            )
+        elif flow.kind in (ENDPOINT_HBM, ENDPOINT_STORAGE):
+            storage_cluster = (
+                flow.storage_cluster if flow.kind == ENDPOINT_STORAGE else None
+            )
+
+            def written() -> None:
+                # The producer's obligation ends once the tile sits in the
+                # residual storage (HBM or a spare cluster's L1): the storage
+                # holds the whole tensor, so the producer never stalls on the
+                # far-downstream consumer.
+                on_done()
+                target = self._relay_targets.get((flow.kind, flow.label))
+                if target is None:
+                    return
+                consumer_id, flow_index = target
+                consumer = self._stages[consumer_id]
+                # The read towards the consumer is issued as soon as the
+                # consumer has a free residual buffer slot (self-timed
+                # prefetch); it does not gate the producer.
+                self._send_with_credit(
+                    storage_cluster,
+                    consumer,
+                    flow_index,
+                    flow.bytes_per_job,
+                    job_index,
+                    lambda: None,
+                    n_chunks=flow.transfers_per_job,
+                )
+
+            self.send_chunked(
+                src, storage_cluster, flow.bytes_per_job, flow.transfers_per_job, written
+            )
+        else:  # pragma: no cover - DataFlow validates kinds
+            raise SimulationError(f"unknown flow kind {flow.kind!r}")
+
+    def _consumer_flow_index(self, consumer: _StageRuntime, producer_id: int) -> int:
+        for index, flow in enumerate(consumer.desc.inputs):
+            if flow.kind == ENDPOINT_STAGE and flow.stage_id == producer_id:
+                return index
+        raise SimulationError(
+            f"stage {consumer.desc.stage_id} has no input flow from stage {producer_id}"
+        )
+
+    def _send_with_credit(
+        self,
+        src: Optional[int],
+        consumer: _StageRuntime,
+        flow_index: int,
+        n_bytes: int,
+        job_index: int,
+        on_done,
+        n_chunks: int = 1,
+    ) -> None:
+        def granted() -> None:
+            dst = consumer.desc.io_cluster
+
+            def delivered() -> None:
+                consumer.deliver(flow_index, job_index)
+                on_done()
+
+            self.send_chunked(src, dst, n_bytes, n_chunks, delivered)
+
+        consumer.input_credits[flow_index].acquire(granted)
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def job_finished(self, stage_id: int, job_index: int) -> None:
+        """Called by stage runtimes; tracks overall completion."""
+        self._last_completion_cycle = max(self._last_completion_cycle, self.engine.now)
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Run the workload to completion and return the results."""
+        self._build()
+        # Stages with no inputs at all (rare: constant generators) start
+        # immediately.
+        for runtime in self._stages.values():
+            if not runtime.desc.inputs:
+                runtime._try_start()
+        self.engine.run(until=max_cycles)
+        jobs_completed = {
+            stage_id: runtime.jobs_completed
+            for stage_id, runtime in self._stages.items()
+        }
+        incomplete = {
+            sid: count
+            for sid, count in jobs_completed.items()
+            if count != self.workload.n_jobs
+        }
+        if incomplete and max_cycles is None:
+            raise SimulationError(
+                f"simulation finished with incomplete stages: {incomplete} "
+                f"(expected {self.workload.n_jobs} jobs each); the workload "
+                "data-flow graph is inconsistent"
+            )
+        makespan = self.tracer.makespan
+        self.tracer.makespan = makespan
+        return SimulationResult(
+            workload=self.workload,
+            arch=self.arch,
+            makespan_cycles=makespan,
+            tracer=self.tracer,
+            jobs_completed=jobs_completed,
+            model_contention=self.model_contention,
+        )
+
+
+def simulate(
+    arch: ArchConfig,
+    workload: Workload,
+    model_contention: bool = True,
+    buffer_depth: int = 2,
+) -> SimulationResult:
+    """Convenience wrapper: build a simulator and run the workload."""
+    simulator = SystemSimulator(
+        arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+    )
+    return simulator.run()

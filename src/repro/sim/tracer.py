@@ -1,0 +1,199 @@
+"""Activity tracing and per-cluster accounting.
+
+The paper's per-cluster plots (Fig. 5B/C/D) break the execution time of each
+cluster into computation, communication, synchronisation and sleep, and mark
+each cluster as analog-bound or digital-bound.  The :class:`Tracer` collects
+exactly that information during the event simulation, plus the aggregate
+traffic counters (NoC byte-hops, HBM bytes) the energy model consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import DefaultDict, Dict, Iterable, List, Optional, Tuple
+
+#: categories of cluster activity tracked by the tracer.
+CATEGORIES = ("analog", "digital", "communication", "synchronization")
+
+
+@dataclass
+class ClusterActivity:
+    """Accumulated activity of one cluster, in cycles."""
+
+    cluster_id: int
+    analog: int = 0
+    digital: int = 0
+    communication: int = 0
+    synchronization: int = 0
+    #: time of the last recorded activity completion on this cluster.
+    last_busy_cycle: int = 0
+    #: number of pipeline jobs whose compute ran on this cluster.
+    jobs: int = 0
+
+    @property
+    def busy(self) -> int:
+        """Total busy cycles (all categories)."""
+        return self.analog + self.digital + self.communication + self.synchronization
+
+    @property
+    def compute(self) -> int:
+        """Compute cycles only (analog + digital)."""
+        return self.analog + self.digital
+
+    @property
+    def is_analog_bound(self) -> bool:
+        """Whether the cluster spends more compute time on the IMA than the cores."""
+        return self.analog >= self.digital
+
+    def sleep(self, makespan: int) -> int:
+        """Idle cycles over a run of ``makespan`` total cycles."""
+        return max(0, makespan - self.busy)
+
+
+@dataclass
+class StageActivity:
+    """Accumulated activity of one pipeline stage."""
+
+    stage_id: int
+    name: str = ""
+    jobs_completed: int = 0
+    analog_busy: int = 0
+    digital_busy: int = 0
+    input_stall: int = 0
+    output_stall: int = 0
+    first_job_start: Optional[int] = None
+    last_job_end: int = 0
+
+    @property
+    def busy(self) -> int:
+        """Total compute-busy cycles of the stage."""
+        return self.analog_busy + self.digital_busy
+
+    @property
+    def active_span(self) -> int:
+        """Cycles between the stage's first job start and last job end."""
+        if self.first_job_start is None:
+            return 0
+        return max(0, self.last_job_end - self.first_job_start)
+
+
+class Tracer:
+    """Collects per-cluster, per-stage and traffic statistics during a run."""
+
+    def __init__(self):
+        self.clusters: Dict[int, ClusterActivity] = {}
+        self.stages: Dict[int, StageActivity] = {}
+        # traffic counters
+        self.noc_bytes = 0
+        self.noc_byte_hops = 0
+        self.hbm_bytes = 0
+        self.local_bytes = 0
+        self.n_transfers = 0
+        # per-link busy cycles, for hot-spot analysis
+        self.link_busy: DefaultDict[str, int] = defaultdict(int)
+        self.makespan = 0
+
+    # ------------------------------------------------------------------ #
+    # Cluster activity
+    # ------------------------------------------------------------------ #
+    def cluster(self, cluster_id: int) -> ClusterActivity:
+        """Return (creating if needed) the activity record of a cluster."""
+        if cluster_id not in self.clusters:
+            self.clusters[cluster_id] = ClusterActivity(cluster_id)
+        return self.clusters[cluster_id]
+
+    def record_cluster(
+        self, cluster_id: int, category: str, cycles: int, end_cycle: int
+    ) -> None:
+        """Add ``cycles`` of activity of ``category`` to one cluster."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown activity category {category!r}")
+        if cycles < 0:
+            raise ValueError("cycles cannot be negative")
+        activity = self.cluster(cluster_id)
+        setattr(activity, category, getattr(activity, category) + int(cycles))
+        activity.last_busy_cycle = max(activity.last_busy_cycle, int(end_cycle))
+        self.makespan = max(self.makespan, int(end_cycle))
+
+    def record_job(self, cluster_id: int) -> None:
+        """Count one pipeline job executed on a cluster."""
+        self.cluster(cluster_id).jobs += 1
+
+    # ------------------------------------------------------------------ #
+    # Stage activity
+    # ------------------------------------------------------------------ #
+    def stage(self, stage_id: int, name: str = "") -> StageActivity:
+        """Return (creating if needed) the activity record of a stage."""
+        if stage_id not in self.stages:
+            self.stages[stage_id] = StageActivity(stage_id, name)
+        record = self.stages[stage_id]
+        if name and not record.name:
+            record.name = name
+        return record
+
+    def record_stage_job(
+        self,
+        stage_id: int,
+        start_cycle: int,
+        end_cycle: int,
+        analog_cycles: int,
+        digital_cycles: int,
+    ) -> None:
+        """Record one completed job of a pipeline stage."""
+        record = self.stage(stage_id)
+        record.jobs_completed += 1
+        record.analog_busy += int(analog_cycles)
+        record.digital_busy += int(digital_cycles)
+        if record.first_job_start is None or start_cycle < record.first_job_start:
+            record.first_job_start = int(start_cycle)
+        record.last_job_end = max(record.last_job_end, int(end_cycle))
+        self.makespan = max(self.makespan, int(end_cycle))
+
+    def record_stage_stall(
+        self, stage_id: int, input_cycles: int = 0, output_cycles: int = 0
+    ) -> None:
+        """Record stall time a stage spent waiting for inputs/output credits."""
+        record = self.stage(stage_id)
+        record.input_stall += int(input_cycles)
+        record.output_stall += int(output_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Traffic
+    # ------------------------------------------------------------------ #
+    def record_transfer(
+        self,
+        n_bytes: int,
+        n_hops: int,
+        to_hbm: bool = False,
+        links: Iterable[str] = (),
+        busy_cycles: int = 0,
+        local: bool = False,
+    ) -> None:
+        """Record one DMA transfer and its footprint on the interconnect."""
+        self.n_transfers += 1
+        if local:
+            self.local_bytes += int(n_bytes)
+            return
+        self.noc_bytes += int(n_bytes)
+        self.noc_byte_hops += int(n_bytes) * int(n_hops)
+        if to_hbm:
+            self.hbm_bytes += int(n_bytes)
+        for link in links:
+            self.link_busy[link] += int(busy_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def busiest_links(self, top: int = 10) -> List[Tuple[str, int]]:
+        """The ``top`` most-occupied links (name, busy cycles)."""
+        ranked = sorted(self.link_busy.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+    def total_compute_cycles(self) -> int:
+        """Total compute cycles summed over all clusters."""
+        return sum(activity.compute for activity in self.clusters.values())
+
+    def active_cluster_ids(self) -> List[int]:
+        """Identifiers of clusters that recorded any activity."""
+        return sorted(cid for cid, act in self.clusters.items() if act.busy > 0)

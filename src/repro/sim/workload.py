@@ -1,0 +1,248 @@
+"""Workload intermediate representation consumed by the system simulator.
+
+The mapping engine (:mod:`repro.core`) lowers a DNN graph plus a mapping
+decision into this architecture-level IR: a list of pipeline *stages*, each
+bound to a set of clusters, with per-job (per data tile) compute costs and
+explicit data flows between stages, to/from the HBM, and to/from residual
+storage locations.  The :class:`repro.sim.system.SystemSimulator` executes
+this IR with the self-timed, credit-based flow control of Sec. IV.5 and
+reports latency, per-cluster activity and traffic.
+
+Keeping this IR independent of the DNN graph keeps the dependency direction
+clean (``core`` depends on ``sim``, never the reverse) and makes the
+simulator reusable for synthetic workloads in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: kinds of data-flow endpoints.
+ENDPOINT_STAGE = "stage"
+ENDPOINT_HBM = "hbm"
+ENDPOINT_STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class DataFlow:
+    """One logical data stream feeding or draining a stage, per job.
+
+    ``kind`` selects the remote endpoint: another pipeline stage, the HBM,
+    or a *storage* location (the L1 of a spare cluster used to park residual
+    tensors, Sec. V.4).  ``bytes_per_job`` is the payload exchanged for each
+    pipeline job (one tile of one image).
+    """
+
+    kind: str
+    bytes_per_job: int
+    stage_id: Optional[int] = None
+    storage_cluster: Optional[int] = None
+    #: label used in reports (e.g. "ifm", "residual", "ofm"); residual flows
+    #: must use a label unique to the tensor so writes and reads pair up.
+    label: str = "data"
+    #: overrides the simulator's default double-buffering depth for this
+    #: flow; residual tensors parked in storage use a deeper buffer because
+    #: the storage holds the whole tensor, decoupling producer and consumer.
+    buffer_depth: Optional[int] = None
+    #: number of separate DMA transfers the per-job payload is split into.
+    #: Residual tensors are moved one feature-map column (``Cout x Hout``
+    #: elements) at a time, so each chunk pays the target's access latency —
+    #: this is what makes HBM-staged residuals expensive (Sec. V.4).
+    transfers_per_job: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ENDPOINT_STAGE, ENDPOINT_HBM, ENDPOINT_STORAGE):
+            raise ValueError(f"unknown data-flow kind {self.kind!r}")
+        if self.bytes_per_job < 0:
+            raise ValueError("bytes_per_job cannot be negative")
+        if self.kind == ENDPOINT_STAGE and self.stage_id is None:
+            raise ValueError("stage data flows need a stage_id")
+        if self.kind == ENDPOINT_STORAGE and self.storage_cluster is None:
+            raise ValueError("storage data flows need a storage_cluster")
+        if self.buffer_depth is not None and self.buffer_depth <= 0:
+            raise ValueError("buffer_depth must be positive when given")
+        if self.transfers_per_job <= 0:
+            raise ValueError("transfers_per_job must be positive")
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-job compute cost of one pipeline stage.
+
+    ``analog_cycles_per_job`` is the time one replica (one group of
+    row/column-split IMAs working in parallel) needs for its share of a job;
+    ``digital_cycles_per_job`` is the time the stage's digital clusters need
+    for reductions / pooling / residual additions / requantisation of one
+    job.  MAC and op counts are carried for the throughput and energy
+    metrics.
+    """
+
+    analog_cycles_per_job: int = 0
+    digital_cycles_per_job: int = 0
+    analog_macs_per_job: int = 0
+    digital_ops_per_job: int = 0
+    #: bytes exchanged inside the stage per job (partial sums towards the
+    #: reduction clusters, input broadcast across column splits).
+    intra_stage_bytes_per_job: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "analog_cycles_per_job",
+            "digital_cycles_per_job",
+            "analog_macs_per_job",
+            "digital_ops_per_job",
+            "intra_stage_bytes_per_job",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class StageDescriptor:
+    """One pipeline stage bound to clusters, with its costs and data flows."""
+
+    stage_id: int
+    name: str
+    #: one tuple of cluster ids per replica; all clusters of a replica work
+    #: in parallel on the same job (row/column splits).  Empty for purely
+    #: digital stages.
+    analog_replicas: Tuple[Tuple[int, ...], ...] = ()
+    #: clusters executing the digital part of the stage (reductions, pooling,
+    #: residual additions).  May be empty for pure analog stages whose
+    #: requantisation is folded into the analog cost.
+    digital_clusters: Tuple[int, ...] = ()
+    #: number of digital jobs that can be processed concurrently.
+    digital_slots: int = 1
+    cost: StageCost = field(default_factory=StageCost)
+    inputs: Tuple[DataFlow, ...] = ()
+    outputs: Tuple[DataFlow, ...] = ()
+    #: graph node ids this stage implements (for reporting).
+    node_ids: Tuple[int, ...] = ()
+    #: IFM-shape group index (Fig. 7 grouping); -1 when not applicable.
+    group: int = -1
+
+    def __post_init__(self) -> None:
+        if self.digital_slots <= 0:
+            raise ValueError("digital_slots must be positive")
+        if not self.analog_replicas and self.cost.analog_cycles_per_job > 0:
+            raise ValueError("analog cost requires at least one analog replica")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def replication(self) -> int:
+        """Number of analog replicas (parallel jobs in flight)."""
+        return max(1, len(self.analog_replicas))
+
+    @property
+    def is_analog(self) -> bool:
+        """Whether the stage performs analog computation."""
+        return bool(self.analog_replicas) and self.cost.analog_cycles_per_job > 0
+
+    @property
+    def clusters(self) -> Tuple[int, ...]:
+        """All clusters used by the stage (deduplicated, sorted)."""
+        members = {c for replica in self.analog_replicas for c in replica}
+        members.update(self.digital_clusters)
+        return tuple(sorted(members))
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of distinct clusters used by the stage."""
+        return len(self.clusters)
+
+    @property
+    def io_cluster(self) -> Optional[int]:
+        """Representative cluster charged with the stage's DMA traffic."""
+        clusters = self.clusters
+        return clusters[0] if clusters else None
+
+    def throughput_limit_cycles(self) -> int:
+        """Steady-state cycles per job this stage needs (its pipeline weight)."""
+        analog = 0
+        if self.is_analog:
+            analog = -(-self.cost.analog_cycles_per_job // self.replication)
+        digital = 0
+        if self.cost.digital_cycles_per_job > 0:
+            digital = -(-self.cost.digital_cycles_per_job // self.digital_slots)
+        return max(analog, digital, 1)
+
+
+@dataclass
+class Workload:
+    """A complete pipelined workload: stages, job count and bookkeeping."""
+
+    name: str
+    stages: List[StageDescriptor]
+    n_jobs: int
+    batch_size: int
+    tiles_per_image: int
+    #: total MACs and digital ops for the whole batch (metrics denominator).
+    total_macs: int = 0
+    total_digital_ops: int = 0
+    #: storage clusters used to park residuals (Sec. V.4 final mapping).
+    storage_clusters: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ValueError("a workload needs at least one job")
+        if self.batch_size <= 0 or self.tiles_per_image <= 0:
+            raise ValueError("batch_size and tiles_per_image must be positive")
+        ids = [stage.stage_id for stage in self.stages]
+        if len(ids) != len(set(ids)):
+            raise ValueError("stage ids must be unique")
+
+    # ------------------------------------------------------------------ #
+    def stage(self, stage_id: int) -> StageDescriptor:
+        """Return a stage by identifier."""
+        for stage in self.stages:
+            if stage.stage_id == stage_id:
+                return stage
+        raise KeyError(f"no stage with id {stage_id}")
+
+    @property
+    def used_clusters(self) -> Tuple[int, ...]:
+        """All clusters used by any stage or as residual storage."""
+        members = {c for stage in self.stages for c in stage.clusters}
+        members.update(self.storage_clusters)
+        return tuple(sorted(members))
+
+    @property
+    def n_used_clusters(self) -> int:
+        """Number of distinct clusters used by the workload."""
+        return len(self.used_clusters)
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations of the batch (1 MAC = 2 ops plus digital ops)."""
+        return 2 * self.total_macs + self.total_digital_ops
+
+    def bottleneck_stage(self) -> StageDescriptor:
+        """The stage with the largest steady-state per-job cost."""
+        if not self.stages:
+            raise ValueError("workload has no stages")
+        return max(self.stages, key=lambda stage: stage.throughput_limit_cycles())
+
+    def validate(self, n_clusters: int) -> None:
+        """Check stage references and cluster indices against the system size."""
+        ids = {stage.stage_id for stage in self.stages}
+        for stage in self.stages:
+            for cluster in stage.clusters:
+                if not 0 <= cluster < n_clusters:
+                    raise ValueError(
+                        f"stage {stage.stage_id} uses cluster {cluster}, but the "
+                        f"system only has {n_clusters}"
+                    )
+            for flow in stage.inputs + stage.outputs:
+                if flow.kind == ENDPOINT_STAGE and flow.stage_id not in ids:
+                    raise ValueError(
+                        f"stage {stage.stage_id} references unknown stage "
+                        f"{flow.stage_id}"
+                    )
+                if flow.kind == ENDPOINT_STORAGE and not (
+                    0 <= flow.storage_cluster < n_clusters
+                ):
+                    raise ValueError(
+                        f"stage {stage.stage_id} references storage cluster "
+                        f"{flow.storage_cluster} outside the system"
+                    )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the ResNet-18 graph, the paper-scale architecture and
+the full mapping study) are session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.core import MappingOptimizer, OptimizationLevel, lower_to_workload
+from repro.dnn import models
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="session")
+def paper_arch() -> ArchConfig:
+    """The Table I architecture (512 clusters)."""
+    return ArchConfig.paper()
+
+
+@pytest.fixture(scope="session")
+def small_arch() -> ArchConfig:
+    """A 16-cluster system used by most integration tests."""
+    return ArchConfig.scaled(n_clusters=16, crossbar_size=256)
+
+
+@pytest.fixture(scope="session")
+def tiny_arch() -> ArchConfig:
+    """A 4-cluster system with small crossbars for edge-case tests."""
+    return ArchConfig.scaled(n_clusters=4, crossbar_size=64)
+
+
+@pytest.fixture(scope="session")
+def resnet18_graph():
+    """ResNet-18 on 256x256 inputs (the paper's workload)."""
+    return models.resnet18(input_shape=(3, 256, 256))
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A small residual CNN for fast end-to-end tests."""
+    return models.tiny_cnn(input_shape=(3, 32, 32), num_classes=10)
+
+
+@pytest.fixture(scope="session")
+def resnet_optimizer(resnet18_graph, paper_arch):
+    """Mapping optimizer for ResNet-18 on the paper architecture."""
+    return MappingOptimizer(resnet18_graph, paper_arch, batch_size=16)
+
+
+@pytest.fixture(scope="session")
+def resnet_final_mapping(resnet_optimizer):
+    """Final (fully optimised) mapping of ResNet-18."""
+    return resnet_optimizer.build(OptimizationLevel.FINAL)
+
+
+@pytest.fixture(scope="session")
+def resnet_final_result(resnet_final_mapping, paper_arch):
+    """Simulated batch-16 run of the final ResNet-18 mapping."""
+    workload = lower_to_workload(resnet_final_mapping)
+    return simulate(paper_arch, workload)

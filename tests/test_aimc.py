@@ -1,0 +1,201 @@
+"""Tests for the analog crossbar functional models (repro.aimc)."""
+
+import numpy as np
+import pytest
+
+from repro.aimc import (
+    ADCSpec,
+    AnalogExecutor,
+    Crossbar,
+    DACSpec,
+    NoiseModel,
+    PCMArray,
+    PCMCellSpec,
+    TiledMatrix,
+)
+from repro.dnn import ReferenceExecutor, initialize_parameters, models, random_input
+
+
+class TestPCM:
+    def test_ideal_programming_is_exact(self):
+        array = PCMArray(8, 8, seed=0)
+        weights = np.random.default_rng(0).normal(size=(8, 8))
+        array.program(weights, ideal=True)
+        assert array.programming_error(weights) < 1e-12
+
+    def test_noisy_programming_close_but_not_exact(self):
+        cell = PCMCellSpec(programming_noise_frac=0.02)
+        array = PCMArray(32, 32, cell=cell, seed=1)
+        weights = np.random.default_rng(1).normal(size=(32, 32))
+        array.program(weights)
+        error = array.programming_error(weights)
+        assert 0 < error < 0.2 * np.abs(weights).max()
+
+    def test_drift_reduces_magnitude(self):
+        array = PCMArray(16, 16, seed=2)
+        weights = np.abs(np.random.default_rng(2).normal(size=(16, 16)))
+        array.program(weights, ideal=True)
+        fresh = array.effective_weights()
+        drifted = array.effective_weights(time_s=1e6)
+        assert np.linalg.norm(drifted) < np.linalg.norm(fresh)
+
+    def test_unprogrammed_read_raises(self):
+        with pytest.raises(RuntimeError):
+            PCMArray(4, 4).effective_weights()
+
+    def test_shape_mismatch_raises(self):
+        array = PCMArray(4, 4)
+        with pytest.raises(ValueError):
+            array.program(np.ones((2, 2)))
+
+    def test_invalid_cell_spec(self):
+        with pytest.raises(ValueError):
+            PCMCellSpec(g_max_us=0.0, g_min_us=0.0)
+
+
+class TestConverters:
+    def test_dac_is_idempotent_on_grid(self):
+        dac = DACSpec(bits=8)
+        values = np.linspace(-1, 1, 11)
+        once = dac.convert(values, full_scale=1.0)
+        twice = dac.convert(once, full_scale=1.0)
+        assert np.allclose(once, twice)
+
+    def test_dac_quantisation_error_bounded(self):
+        dac = DACSpec(bits=8)
+        values = np.random.default_rng(0).uniform(-1, 1, 1000)
+        error = np.abs(dac.convert(values, full_scale=1.0) - values)
+        step = 1.0 / ((dac.n_levels - 1) // 2)
+        assert error.max() <= step / 2 + 1e-12
+
+    def test_adc_clips_out_of_range(self):
+        adc = ADCSpec(bits=8)
+        out = adc.convert(np.array([10.0, -10.0]), full_scale=1.0)
+        assert out.max() <= 1.0 and out.min() >= -1.0
+
+    def test_zero_input_passthrough(self):
+        assert np.all(DACSpec().convert(np.zeros(4)) == 0)
+        assert np.all(ADCSpec().convert(np.zeros(4)) == 0)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            DACSpec(bits=0)
+        with pytest.raises(ValueError):
+            ADCSpec(bits=32)
+
+
+class TestCrossbar:
+    def test_ideal_mvm_matches_matmul(self):
+        noise = NoiseModel.ideal()
+        crossbar = Crossbar(32, 16, noise=noise, seed=0)
+        weights = np.random.default_rng(0).normal(size=(32, 16))
+        crossbar.program(weights)
+        x = np.random.default_rng(1).normal(size=32)
+        assert np.allclose(crossbar.mvm(x), x @ weights, atol=1e-10)
+
+    def test_batched_mvm(self):
+        crossbar = Crossbar(16, 8, noise=NoiseModel.ideal(), seed=0)
+        weights = np.random.default_rng(2).normal(size=(16, 8))
+        crossbar.program(weights)
+        batch = np.random.default_rng(3).normal(size=(5, 16))
+        assert np.allclose(crossbar.mvm(batch), batch @ weights, atol=1e-10)
+
+    def test_noisy_mvm_close_to_ideal(self):
+        weights = np.random.default_rng(4).normal(size=(64, 64))
+        x = np.random.default_rng(5).normal(size=64)
+        noisy = Crossbar(64, 64, noise=NoiseModel.typical(), seed=1)
+        noisy.program(weights)
+        reference = x @ weights
+        error = np.linalg.norm(noisy.mvm(x) - reference) / np.linalg.norm(reference)
+        assert error < 0.25
+
+    def test_partial_fill_and_utilization(self):
+        crossbar = Crossbar(64, 64, noise=NoiseModel.ideal())
+        crossbar.program(np.ones((10, 20)))
+        assert crossbar.utilization == pytest.approx(200 / 4096)
+        out = crossbar.mvm(np.ones(10))
+        assert out.shape == (20,)
+
+    def test_oversized_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Crossbar(8, 8).program(np.ones((9, 8)))
+
+    def test_unprogrammed_mvm_rejected(self):
+        with pytest.raises(RuntimeError):
+            Crossbar(8, 8).mvm(np.ones(8))
+
+    def test_wrong_input_length_rejected(self):
+        crossbar = Crossbar(8, 8, noise=NoiseModel.ideal())
+        crossbar.program(np.ones((8, 8)))
+        with pytest.raises(ValueError):
+            crossbar.mvm(np.ones(4))
+
+
+class TestTiledMatrix:
+    def test_tile_count_matches_splits(self):
+        weights = np.random.default_rng(0).normal(size=(300, 500))
+        tiled = TiledMatrix(weights, crossbar_rows=256, crossbar_cols=256,
+                            noise=NoiseModel.ideal(), seed=0)
+        assert tiled.n_row_splits == 2
+        assert tiled.n_col_splits == 2
+        assert tiled.n_crossbars == 4
+
+    def test_tiled_mvm_matches_matmul(self):
+        weights = np.random.default_rng(1).normal(size=(130, 70))
+        tiled = TiledMatrix(weights, crossbar_rows=64, crossbar_cols=64,
+                            noise=NoiseModel.ideal(), seed=0)
+        x = np.random.default_rng(2).normal(size=130)
+        assert np.allclose(tiled.mvm(x), x @ weights, atol=1e-9)
+
+    def test_utilization_below_one_for_ragged_split(self):
+        weights = np.ones((100, 100))
+        tiled = TiledMatrix(weights, crossbar_rows=64, crossbar_cols=64,
+                            noise=NoiseModel.ideal())
+        assert 0 < tiled.utilization < 1
+
+    def test_input_length_validation(self):
+        tiled = TiledMatrix(np.ones((10, 10)), crossbar_rows=8, crossbar_cols=8,
+                            noise=NoiseModel.ideal())
+        with pytest.raises(ValueError):
+            tiled.mvm(np.ones(9))
+
+
+class TestAnalogExecutor:
+    def test_ideal_executor_matches_reference(self, tiny_graph):
+        params = initialize_parameters(tiny_graph, seed=0)
+        image = random_input(tiny_graph, seed=1)
+        executor = AnalogExecutor(
+            tiny_graph, parameters=params, noise=NoiseModel.ideal(),
+            crossbar_rows=64, crossbar_cols=64, seed=0,
+        )
+        assert executor.compare_with_reference(image) < 1e-9
+
+    def test_noisy_executor_close_to_reference(self, tiny_graph):
+        params = initialize_parameters(tiny_graph, seed=0)
+        image = random_input(tiny_graph, seed=1)
+        executor = AnalogExecutor(
+            tiny_graph, parameters=params, noise=NoiseModel.typical(),
+            crossbar_rows=64, crossbar_cols=64, seed=0,
+        )
+        reference = ReferenceExecutor(tiny_graph, parameters=params)
+        golden = reference.run_output(image)
+        error = executor.compare_with_reference(image)
+        assert error < 0.5 * np.abs(golden).max() + 0.5
+
+    def test_total_crossbars_positive(self, tiny_graph):
+        executor = AnalogExecutor(tiny_graph, noise=NoiseModel.ideal(),
+                                  crossbar_rows=64, crossbar_cols=64)
+        assert executor.total_crossbars >= len(tiny_graph.analog_nodes())
+
+    def test_noise_presets(self):
+        assert not NoiseModel.ideal().programming_noise
+        assert NoiseModel.typical().programming_noise
+        assert NoiseModel.pessimistic().adc.bits < NoiseModel.typical().adc.bits
+        drifted = NoiseModel.typical().with_drift(100.0)
+        assert drifted.drift_time_s == 100.0
+
+    def test_invalid_noise_parameters(self):
+        with pytest.raises(ValueError):
+            NoiseModel(ir_drop_factor=0.0)
+        with pytest.raises(ValueError):
+            NoiseModel(drift_time_s=-1.0)

@@ -1,0 +1,163 @@
+"""Tests for the numpy reference executor and the quantisation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    Conv2D,
+    MaxPool2D,
+    QuantizationSpec,
+    ReferenceExecutor,
+    TensorShape,
+    conv2d_reference,
+    im2col,
+    initialize_parameters,
+    models,
+    quantization_rmse,
+    quantize,
+    quantize_graph_parameters,
+    random_input,
+)
+from repro.dnn.numerics import avgpool2d_reference, linear_reference, maxpool2d_reference
+from repro.dnn.layers import AvgPool2D, Linear
+
+
+class TestIm2Col:
+    def test_shape(self):
+        ifm = np.arange(3 * 8 * 8, dtype=float).reshape(3, 8, 8)
+        cols = im2col(ifm, kernel_size=3, stride=1, padding=1)
+        assert cols.shape == (64, 27)
+
+    def test_stride_reduces_rows(self):
+        ifm = np.ones((2, 8, 8))
+        cols = im2col(ifm, kernel_size=3, stride=2, padding=1)
+        assert cols.shape == (16, 18)
+
+    def test_identity_kernel_matches_input(self):
+        ifm = np.random.default_rng(0).normal(size=(1, 4, 4))
+        cols = im2col(ifm, kernel_size=1, stride=1, padding=0)
+        assert np.allclose(cols.reshape(4, 4), ifm[0])
+
+    def test_invalid_input_raises(self):
+        with pytest.raises(ValueError):
+            im2col(np.ones((4, 4)), 3, 1, 1)
+
+
+class TestReferenceKernels:
+    def test_conv_matches_manual_1x1(self):
+        ifm = np.random.default_rng(1).normal(size=(4, 5, 5))
+        weights = np.random.default_rng(2).normal(size=(8, 4, 1, 1))
+        layer = Conv2D(out_channels=8, kernel_size=1, padding=0, bias=False, fused_relu=False)
+        out = conv2d_reference(ifm, weights, None, layer)
+        manual = np.einsum("oc,chw->ohw", weights[:, :, 0, 0], ifm)
+        assert np.allclose(out, manual)
+
+    def test_conv_relu_clamps_negatives(self):
+        ifm = -np.ones((1, 4, 4))
+        weights = np.ones((1, 1, 1, 1))
+        layer = Conv2D(out_channels=1, kernel_size=1, padding=0, bias=False, fused_relu=True)
+        out = conv2d_reference(ifm, weights, None, layer)
+        assert np.all(out == 0.0)
+
+    def test_maxpool_reference(self):
+        ifm = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = maxpool2d_reference(ifm, MaxPool2D(kernel_size=2, stride=2))
+        assert out.shape == (1, 2, 2)
+        assert out[0, 0, 0] == 5.0
+        assert out[0, 1, 1] == 15.0
+
+    def test_global_avgpool_reference(self):
+        ifm = np.ones((3, 4, 4)) * np.arange(1, 4)[:, None, None]
+        out = avgpool2d_reference(ifm, AvgPool2D(global_pool=True))
+        assert np.allclose(out.reshape(-1), [1.0, 2.0, 3.0])
+
+    def test_linear_reference(self):
+        ifm = np.ones((4, 1, 1))
+        weights = np.eye(4)
+        out = linear_reference(ifm, weights, None, Linear(out_features=4, bias=False))
+        assert np.allclose(out.reshape(-1), np.ones(4))
+
+
+class TestReferenceExecutor:
+    def test_runs_every_node(self, tiny_graph):
+        executor = ReferenceExecutor(tiny_graph, seed=0)
+        outputs = executor.run(random_input(tiny_graph, seed=1))
+        assert set(outputs) == {node.node_id for node in tiny_graph.nodes}
+
+    def test_output_shape_matches_graph(self, tiny_graph):
+        executor = ReferenceExecutor(tiny_graph, seed=0)
+        out = executor.run_output(random_input(tiny_graph, seed=1))
+        expected = tiny_graph.output_nodes[0].output_shape
+        assert out.shape == expected.chw
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        image = random_input(tiny_graph, seed=3)
+        a = ReferenceExecutor(tiny_graph, seed=5).run_output(image)
+        b = ReferenceExecutor(tiny_graph, seed=5).run_output(image)
+        assert np.allclose(a, b)
+
+    def test_wrong_input_shape_rejected(self, tiny_graph):
+        executor = ReferenceExecutor(tiny_graph, seed=0)
+        with pytest.raises(ValueError):
+            executor.run(np.zeros((1, 8, 8)))
+
+    def test_mvm_hook_is_used(self, tiny_graph):
+        calls = []
+
+        def hook(node, inputs, weights):
+            calls.append(node.node_id)
+            return inputs @ weights
+
+        executor = ReferenceExecutor(tiny_graph, seed=0, mvm_hook=hook)
+        executor.run_output(random_input(tiny_graph, seed=1))
+        analog_ids = {node.node_id for node in tiny_graph.analog_nodes()}
+        assert analog_ids.issubset(set(calls))
+
+    def test_mobilenet_depthwise_runs(self):
+        graph = models.mobilenet_v2(input_shape=(3, 32, 32), num_classes=10)
+        executor = ReferenceExecutor(graph, seed=0)
+        out = executor.run_output(random_input(graph, seed=1))
+        assert out.shape == (10, 1, 1)
+
+
+class TestQuantization:
+    def test_round_trip_error_small(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=(64, 64))
+        rmse = quantization_rmse(tensor, QuantizationSpec(bits=8))
+        assert rmse < 0.02 * np.abs(tensor).max()
+
+    def test_lower_bits_higher_error(self):
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(size=(32, 32))
+        assert quantization_rmse(tensor, QuantizationSpec(bits=4)) > quantization_rmse(
+            tensor, QuantizationSpec(bits=8)
+        )
+
+    def test_codes_within_range(self):
+        spec = QuantizationSpec(bits=8)
+        quantized = quantize(np.linspace(-3, 3, 100), spec)
+        assert quantized.codes.max() <= spec.q_max
+        assert quantized.codes.min() >= spec.q_min
+
+    def test_per_channel_scales(self):
+        tensor = np.stack([np.ones(10), 100 * np.ones(10)])
+        quantized = quantize(tensor, QuantizationSpec(bits=8, per_channel=True))
+        assert quantized.scale.shape == (2,)
+        assert np.allclose(quantized.dequantize(), tensor, rtol=0.02)
+
+    def test_zero_tensor_handled(self):
+        quantized = quantize(np.zeros((4, 4)))
+        assert np.all(quantized.codes == 0)
+        assert np.all(quantized.dequantize() == 0)
+
+    def test_graph_parameter_quantisation(self, tiny_graph):
+        params = initialize_parameters(tiny_graph, seed=0)
+        quantized = quantize_graph_parameters(params)
+        assert set(quantized) == set(params)
+        for node_id, q in quantized.items():
+            assert q.codes.shape == params[node_id].weight_matrix.shape
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=1)

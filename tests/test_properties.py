@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import HBMSpec, IMASpec, InterconnectSpec, QuadrantTopology
+from repro.aimc import Crossbar, NoiseModel, TiledMatrix
+from repro.core import LayerSplit, ReductionPlan
+from repro.dnn import QuantizationSpec, TensorShape, quantize
+from repro.dnn.numerics import im2col
+from repro.sim import Engine, Server
+
+
+# --------------------------------------------------------------------------- #
+# Architecture invariants
+# --------------------------------------------------------------------------- #
+@given(rows=st.integers(1, 4096), cols=st.integers(1, 4096))
+def test_split_covers_whole_matrix(rows, cols):
+    """Row/column splits always allocate at least as many cells as the matrix has."""
+    ima = IMASpec()
+    split = LayerSplit.for_matrix(rows, cols, ima)
+    allocated_rows = split.n_row_splits * ima.rows
+    allocated_cols = split.n_col_splits * ima.cols
+    assert allocated_rows >= rows
+    assert allocated_cols >= cols
+    assert 0 < split.cell_utilization <= 1
+    # Splits are minimal: one fewer split along either axis would not fit.
+    assert (split.n_row_splits - 1) * ima.rows < rows
+    assert (split.n_col_splits - 1) * ima.cols < cols
+
+
+@given(n_partials=st.integers(1, 200))
+def test_reduction_plan_reduces_to_one(n_partials):
+    """The dedicated reduction tree always converges to a single output."""
+    plan = ReductionPlan.plan(n_partials)
+    if plan.dedicated:
+        assert plan.levels[0].n_inputs == n_partials
+        assert plan.levels[-1].n_outputs == 1
+        for earlier, later in zip(plan.levels, plan.levels[1:]):
+            assert later.n_inputs == earlier.n_outputs
+    ops = plan.total_ops_per_job(100)
+    assert ops == 100 * (n_partials - 1)
+
+
+@given(
+    src=st.integers(0, 511),
+    dst=st.integers(0, 511),
+    n_bytes=st.integers(1, 1 << 20),
+)
+@settings(max_examples=50)
+def test_route_properties(src, dst, n_bytes):
+    """Routes are loop-free, symmetric in hop count, and HBM routes are longest."""
+    topo = QuadrantTopology()
+    route = topo.route(src, dst)
+    assert len(set(route.links)) == len(route.links)  # no link repeated
+    assert route.n_hops == topo.route(dst, src).n_hops
+    assert route.serialization_cycles(n_bytes) == math.ceil(n_bytes / 64)
+    if src != dst:
+        assert route.n_hops >= 2
+        assert route.n_hops <= topo.route_to_hbm(src).n_hops + topo.route_to_hbm(dst).n_hops
+
+
+@given(n_bytes=st.integers(0, 1 << 22))
+def test_hbm_service_cycles_monotonic(n_bytes):
+    """HBM channel occupancy grows monotonically with the payload."""
+    hbm = HBMSpec()
+    assert hbm.service_cycles(n_bytes) <= hbm.service_cycles(n_bytes + 64)
+    if n_bytes > 0:
+        assert hbm.service_cycles(n_bytes) >= hbm.access_latency_cycles
+
+
+@given(factors=st.lists(st.integers(1, 8), min_size=2, max_size=5))
+def test_interconnect_from_factors_capacity(factors):
+    """The topology hosts exactly the product of its quadrant factors."""
+    spec = InterconnectSpec.from_factors(factors)
+    expected = 1
+    for factor in factors:
+        expected *= factor
+    assert spec.max_clusters == expected
+
+
+# --------------------------------------------------------------------------- #
+# Numerics invariants
+# --------------------------------------------------------------------------- #
+@given(
+    channels=st.integers(1, 4),
+    size=st.integers(3, 12),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.integers(1, 2),
+)
+@settings(max_examples=30, deadline=None)
+def test_im2col_shape_invariant(channels, size, kernel, stride):
+    """im2col always produces (out_pixels, C*K*K) with finite values."""
+    padding = kernel // 2
+    ifm = np.random.default_rng(0).normal(size=(channels, size, size))
+    cols = im2col(ifm, kernel, stride, padding)
+    out = (size + 2 * padding - kernel) // stride + 1
+    assert cols.shape == (out * out, channels * kernel * kernel)
+    assert np.all(np.isfinite(cols))
+
+
+@given(
+    bits=st.integers(2, 10),
+    values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=64),
+)
+def test_quantization_error_bounded_by_step(bits, values):
+    """Quantisation error never exceeds half a quantisation step."""
+    tensor = np.asarray(values)
+    spec = QuantizationSpec(bits=bits)
+    quantized = quantize(tensor, spec)
+    max_abs = np.abs(tensor).max()
+    if max_abs == 0:
+        assert np.all(quantized.codes == 0)
+        return
+    step = max_abs / spec.q_max
+    error = np.abs(quantized.dequantize() - tensor)
+    assert np.all(error <= step / 2 + 1e-9)
+
+
+@given(
+    rows=st.integers(1, 96),
+    cols=st.integers(1, 96),
+    xbar=st.sampled_from([16, 32, 64]),
+)
+@settings(max_examples=25, deadline=None)
+def test_tiled_matrix_equals_dense_matmul(rows, cols, xbar):
+    """Row/column-split analog execution (ideal) equals the dense product."""
+    rng = np.random.default_rng(rows * 1000 + cols)
+    weights = rng.normal(size=(rows, cols))
+    x = rng.normal(size=rows)
+    tiled = TiledMatrix(weights, crossbar_rows=xbar, crossbar_cols=xbar,
+                        noise=NoiseModel.ideal(), seed=0)
+    assert tiled.n_crossbars == math.ceil(rows / xbar) * math.ceil(cols / xbar)
+    assert np.allclose(tiled.mvm(x), x @ weights, atol=1e-8)
+
+
+@given(shape=st.tuples(st.integers(1, 64), st.integers(1, 64), st.integers(1, 64)))
+def test_tensor_shape_invariants(shape):
+    """Byte counts and tiling helpers are consistent."""
+    tensor = TensorShape(*shape)
+    assert tensor.n_bytes(2) == 2 * tensor.n_elements
+    assert TensorShape.from_hwc(tensor.hwc) == tensor
+    tile = tensor.with_width(1)
+    assert tile.n_elements == tensor.channels * tensor.height
+
+
+# --------------------------------------------------------------------------- #
+# Event-kernel invariants
+# --------------------------------------------------------------------------- #
+@given(durations=st.lists(st.integers(0, 50), min_size=1, max_size=30),
+       capacity=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_server_conservation(durations, capacity):
+    """A server serves every job exactly once and accumulates their service time."""
+    engine = Engine()
+    server = Server(engine, "s", capacity=capacity)
+    finished = []
+    for duration in durations:
+        server.submit(duration, lambda d=duration: finished.append(d))
+    engine.run()
+    assert sorted(finished) == sorted(durations)
+    assert server.jobs_served == len(durations)
+    assert server.utilization_time == sum(durations)
+    # Makespan can never beat the ideal parallel bound.
+    assert engine.now >= math.ceil(sum(durations) / capacity) - max(durations, default=0)
+
+
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+def test_engine_time_is_monotonic(delays):
+    """Simulated time only moves forward regardless of scheduling order."""
+    engine = Engine()
+    observed = []
+    for delay in delays:
+        engine.after(delay, lambda: observed.append(engine.now))
+    engine.run()
+    assert observed == sorted(observed)
+    assert engine.now == max(delays)
