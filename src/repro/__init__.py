@@ -14,7 +14,20 @@ The package is organised as:
 * :mod:`repro.core` — the paper's contribution: static mapping, splitting,
   replication, reductions, residual management and pipelined execution;
 * :mod:`repro.analysis` — metrics, breakdowns and the Fig. 5/6/7 analyses;
+* :mod:`repro.perf` — the benchmark runner tracking the ``BENCH_*.json``
+  performance trajectory (``python -m repro.perf.bench``);
 * :mod:`repro.runner` — one-call end-to-end flow.
+
+Performance note: the analog execution path has two backends.  The default
+``backend="vectorized"`` stacks all tiles of a layer into
+:class:`~repro.aimc.StackedPCMArray` tensors and executes one batched GEMM
+per layer, serving effective weights from a device-state cache computed at
+program time whenever reads are deterministic (read noise off — drift at
+the fixed ``NoiseModel.drift_time_s`` is deterministic); the cache is
+invalidated on reprogramming or a drift-time change.  ``backend="reference"``
+keeps the original per-tile ``Crossbar`` loop as the golden model; with
+noise disabled both backends agree to float rounding.  See the
+"Performance" section of ROADMAP.md for how to run and check benchmarks.
 """
 
 from .arch import ArchConfig

@@ -1,18 +1,26 @@
 """Functional models of the analog in-memory-computing datapath."""
 
 from .adc_dac import ADCSpec, DACSpec
-from .crossbar import AnalogExecutor, Crossbar, TileCoordinate, TiledMatrix
+from .crossbar import (
+    BACKENDS,
+    AnalogExecutor,
+    Crossbar,
+    TileCoordinate,
+    TiledMatrix,
+)
 from .noise import NoiseModel
-from .pcm import PCMArray, PCMCellSpec
+from .pcm import PCMArray, PCMCellSpec, StackedPCMArray
 
 __all__ = [
     "ADCSpec",
     "AnalogExecutor",
+    "BACKENDS",
     "Crossbar",
     "DACSpec",
     "NoiseModel",
     "PCMArray",
     "PCMCellSpec",
+    "StackedPCMArray",
     "TileCoordinate",
     "TiledMatrix",
 ]

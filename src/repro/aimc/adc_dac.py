@@ -6,14 +6,42 @@ number of bits, which bounds the numerical fidelity of the analog MVM
 independently of the PCM cell quality.  The models here are simple uniform
 quantisers with configurable clipping, matching the 8-bit converters the
 paper assumes.
+
+Both converters accept arbitrarily shaped arrays, so the vectorized
+execution engine converts one whole layer batch per call instead of one
+tile at a time; ``full_scale`` may be an array broadcastable against the
+values for per-tile (or per-row) ranges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
+
+FullScale = Union[None, float, np.ndarray]
+
+
+def _uniform_quantize(
+    values: np.ndarray, full_scale: Union[float, np.ndarray], n_levels: int
+) -> np.ndarray:
+    """Symmetric uniform quantisation onto ``n_levels`` codes with clipping.
+
+    ``full_scale`` may be a scalar or an array broadcastable against
+    ``values``; zero entries pass their values through as zero.
+    """
+    half_levels = (n_levels - 1) // 2
+    scale = np.asarray(full_scale, dtype=float)
+    if scale.ndim == 0:
+        if float(scale) == 0.0:
+            return np.zeros_like(values)
+        step = float(scale) / half_levels
+        codes = np.clip(np.round(values / step), -half_levels, half_levels)
+        return codes * step
+    step = np.where(scale > 0, scale, 1.0) / half_levels
+    codes = np.clip(np.round(values / step), -half_levels, half_levels)
+    return np.where(scale > 0, codes * step, 0.0)
 
 
 @dataclass(frozen=True)
@@ -31,23 +59,20 @@ class DACSpec:
         """Number of representable input levels (symmetric, including zero)."""
         return (1 << self.bits) - 1
 
-    def convert(self, values: np.ndarray, full_scale: Optional[float] = None) -> np.ndarray:
+    def convert(self, values: np.ndarray, full_scale: FullScale = None) -> np.ndarray:
         """Quantise digital input values onto the DAC grid.
 
         ``full_scale`` defaults to the maximum absolute value of the input;
-        values outside the full-scale range are clipped.
+        values outside the full-scale range are clipped.  An array full
+        scale (broadcastable against ``values``) quantises each slice onto
+        its own grid, as the per-tile DACs of the reference backend do.
         """
         values = np.asarray(values, dtype=float)
         if values.size == 0:
             return values
         if full_scale is None:
             full_scale = float(np.max(np.abs(values)))
-        if full_scale == 0.0:
-            return np.zeros_like(values)
-        half_levels = (self.n_levels - 1) // 2
-        step = full_scale / half_levels
-        codes = np.clip(np.round(values / step), -half_levels, half_levels)
-        return codes * step
+        return _uniform_quantize(values, full_scale, self.n_levels)
 
 
 @dataclass(frozen=True)
@@ -72,7 +97,7 @@ class ADCSpec:
     def convert(
         self,
         values: np.ndarray,
-        full_scale: Optional[float] = None,
+        full_scale: FullScale = None,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Quantise analog bit-line outputs onto the ADC grid."""
@@ -81,14 +106,9 @@ class ADCSpec:
             return values
         if full_scale is None:
             full_scale = float(np.max(np.abs(values)))
-        if full_scale == 0.0:
-            return np.zeros_like(values)
         if self.noise_frac > 0:
             generator = rng if rng is not None else np.random.default_rng()
-            values = values + generator.normal(
-                0.0, self.noise_frac * full_scale, size=values.shape
+            values = values + generator.normal(0.0, 1.0, size=values.shape) * (
+                self.noise_frac * np.asarray(full_scale, dtype=float)
             )
-        half_levels = (self.n_levels - 1) // 2
-        step = full_scale / half_levels
-        codes = np.clip(np.round(values / step), -half_levels, half_levels)
-        return codes * step
+        return _uniform_quantize(values, full_scale, self.n_levels)

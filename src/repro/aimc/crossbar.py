@@ -9,7 +9,21 @@ attenuation, and ADC conversion of the bit-line outputs.
 splitting them along rows and columns onto several crossbars — exactly the
 multi-cluster mapping of Sec. V.1 — and summing the row-split partial
 results, which in the real system is the digital reduction performed by the
-RISC-V cores.
+RISC-V cores.  Two execution backends are provided:
+
+* ``backend="vectorized"`` (default) — all tiles of one shape are stacked
+  into a single :class:`~repro.aimc.pcm.StackedPCMArray` (sliced, never
+  zero-padded) and the whole broadcast-over-column-splits /
+  reduce-over-row-splits MVM is one batched einsum per shape group, with
+  DAC/ADC quantisation applied once per layer batch and effective weights
+  served from the device-state cache whenever reads are deterministic;
+* ``backend="reference"`` — the original per-tile Python loop over
+  :class:`Crossbar` objects, kept as the golden model the vectorized engine
+  is tested against.
+
+With noise disabled the two backends agree to float rounding; with
+converters or noise enabled they differ slightly by construction (the
+vectorized engine quantises per layer batch, the reference per tile).
 
 :class:`AnalogExecutor` plugs the tiled analog MVM into the graph reference
 executor so a whole network can be evaluated through the crossbar model and
@@ -27,7 +41,18 @@ import numpy as np
 from ..dnn.graph import Graph, Node
 from ..dnn.numerics import LayerParameters, ReferenceExecutor, initialize_parameters
 from .noise import NoiseModel
-from .pcm import PCMArray
+from .pcm import PCMArray, SeedLike, StackedPCMArray
+
+#: valid values of the ``backend`` argument of :class:`TiledMatrix` /
+#: :class:`AnalogExecutor`.
+BACKENDS = ("vectorized", "reference")
+
+
+def _seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Promote an integer (or ``None``) seed to an independent stream root."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
 
 
 class Crossbar:
@@ -38,15 +63,19 @@ class Crossbar:
         rows: int = 256,
         cols: int = 256,
         noise: Optional[NoiseModel] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ):
         if rows <= 0 or cols <= 0:
             raise ValueError("crossbar dimensions must be positive")
         self.rows = rows
         self.cols = cols
         self.noise = noise if noise is not None else NoiseModel.typical()
-        self._rng = np.random.default_rng(seed)
-        self._array = PCMArray(rows, cols, cell=self.noise.cell, seed=seed)
+        if isinstance(seed, np.random.SeedSequence):
+            rng_seed, array_seed = seed.spawn(2)
+        else:
+            rng_seed = array_seed = seed
+        self._rng = np.random.default_rng(rng_seed)
+        self._array = PCMArray(rows, cols, cell=self.noise.cell, seed=array_seed)
         self._weight_rows = 0
         self._weight_cols = 0
 
@@ -132,12 +161,81 @@ class TileCoordinate:
         return (self.row_stop - self.row_start, self.col_stop - self.col_start)
 
 
+class _TileGroup:
+    """A rectangular sub-grid of equally-shaped tiles in one stacked array.
+
+    A split weight matrix decomposes into at most four such groups: the
+    full-size interior tiles plus (when the splits are ragged) the right
+    edge, the bottom edge, and the corner.  Every group maps onto a
+    contiguous slice of the input rows and output columns, so its MVM —
+    the einsum ``bir,ijrc->bjc`` over the stacked conductances — collapses
+    into a single GEMM against the tiles laid out as one dense
+    ``(n_row * rows, n_col * cols)`` block.
+
+    The dense layout is cached alongside the device-state cache: it is
+    rebuilt only when :meth:`StackedPCMArray.effective_weights` returns a
+    fresh tensor (reprogram, drift-time change, or read noise), which the
+    identity of the returned array tracks exactly.
+    """
+
+    __slots__ = (
+        "row_offset",
+        "col_offset",
+        "n_row",
+        "n_col",
+        "tile_rows",
+        "tile_cols",
+        "array",
+    )
+
+    def __init__(
+        self,
+        row_offset: int,
+        col_offset: int,
+        n_row: int,
+        n_col: int,
+        tile_rows: int,
+        tile_cols: int,
+        array: StackedPCMArray,
+    ):
+        self.row_offset = row_offset
+        self.col_offset = col_offset
+        self.n_row = n_row
+        self.n_col = n_col
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.array = array
+
+    def dense_block(self, stacked: np.ndarray) -> np.ndarray:
+        """Stacked ``(n_row, n_col, r, c)`` weights as one dense 2D block."""
+        return stacked.transpose(0, 2, 1, 3).reshape(
+            self.n_row * self.tile_rows, self.n_col * self.tile_cols
+        )
+
+
+def _split_segments(total: int, block: int) -> List[Tuple[int, int, int]]:
+    """Decompose ``total`` into ``(offset, n_blocks, block_size)`` segments.
+
+    At most two segments: the run of full ``block``-sized splits and, when
+    ``total`` is not divisible, the single ragged remainder.
+    """
+    n_full = total // block
+    segments: List[Tuple[int, int, int]] = []
+    if n_full:
+        segments.append((0, n_full, block))
+    remainder = total - n_full * block
+    if remainder:
+        segments.append((n_full * block, 1, remainder))
+    return segments
+
+
 class TiledMatrix:
     """A weight matrix split across multiple crossbars (row and column splits).
 
     Row splits produce partial output sums that must be reduced digitally;
     column splits require broadcasting the same inputs to several crossbars.
-    This mirrors the multi-cluster layer mapping of Sec. V.1.
+    This mirrors the multi-cluster layer mapping of Sec. V.1.  See the
+    module docstring for the two execution backends.
     """
 
     def __init__(
@@ -146,41 +244,116 @@ class TiledMatrix:
         crossbar_rows: int = 256,
         crossbar_cols: int = 256,
         noise: Optional[NoiseModel] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
+        backend: str = "vectorized",
     ):
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2:
             raise ValueError("weights must be a 2D matrix")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.weights_shape = weights.shape
         self.crossbar_rows = crossbar_rows
         self.crossbar_cols = crossbar_cols
+        self.backend = backend
+        self.noise = noise if noise is not None else NoiseModel.typical()
         rows, cols = weights.shape
         self.n_row_splits = math.ceil(rows / crossbar_rows)
         self.n_col_splits = math.ceil(cols / crossbar_cols)
-        self.tiles: List[Tuple[TileCoordinate, Crossbar]] = []
-        base_seed = seed if seed is not None else 0
+        self.tile_coordinates: List[TileCoordinate] = []
         for row_index in range(self.n_row_splits):
             for col_index in range(self.n_col_splits):
                 row_start = row_index * crossbar_rows
                 row_stop = min(rows, row_start + crossbar_rows)
                 col_start = col_index * crossbar_cols
                 col_stop = min(cols, col_start + crossbar_cols)
-                coordinate = TileCoordinate(
-                    row_index, col_index, row_start, row_stop, col_start, col_stop
+                self.tile_coordinates.append(
+                    TileCoordinate(
+                        row_index, col_index, row_start, row_stop, col_start, col_stop
+                    )
                 )
-                crossbar = Crossbar(
-                    crossbar_rows,
-                    crossbar_cols,
-                    noise=noise,
-                    seed=base_seed + 31 * row_index + col_index,
+        root = _seed_sequence(seed if seed is not None else 0)
+        self._tiles: List[Tuple[TileCoordinate, Crossbar]] = []
+        self._groups: List[_TileGroup] = []
+        self._dense: Optional[np.ndarray] = None
+        self._dense_src: Optional[List[np.ndarray]] = None
+        if backend == "reference":
+            self._build_reference(weights, root)
+        else:
+            self._build_vectorized(weights, root)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_reference(self, weights: np.ndarray, root: np.random.SeedSequence) -> None:
+        """Per-tile :class:`Crossbar` objects, one independent stream each."""
+        children = root.spawn(len(self.tile_coordinates))
+        for coordinate, child in zip(self.tile_coordinates, children):
+            crossbar = Crossbar(
+                self.crossbar_rows, self.crossbar_cols, noise=self.noise, seed=child
+            )
+            crossbar.program(
+                weights[
+                    coordinate.row_start : coordinate.row_stop,
+                    coordinate.col_start : coordinate.col_stop,
+                ]
+            )
+            self._tiles.append((coordinate, crossbar))
+
+    def _build_vectorized(self, weights: np.ndarray, root: np.random.SeedSequence) -> None:
+        """Stacked-tensor representation: one array per tile shape group."""
+        rows, cols = weights.shape
+        row_segments = _split_segments(rows, self.crossbar_rows)
+        col_segments = _split_segments(cols, self.crossbar_cols)
+        n_groups = len(row_segments) * len(col_segments)
+        children = root.spawn(n_groups + 1)
+        self._rng = np.random.default_rng(children[-1])
+        index = 0
+        for row_offset, n_row, tile_rows in row_segments:
+            for col_offset, n_col, tile_cols in col_segments:
+                block = weights[
+                    row_offset : row_offset + n_row * tile_rows,
+                    col_offset : col_offset + n_col * tile_cols,
+                ]
+                stacked = block.reshape(n_row, tile_rows, n_col, tile_cols)
+                stacked = stacked.transpose(0, 2, 1, 3)  # (n_row, n_col, r, c)
+                array = StackedPCMArray(
+                    (n_row, n_col),
+                    tile_rows,
+                    tile_cols,
+                    cell=self.noise.cell,
+                    seed=children[index],
                 )
-                crossbar.program(weights[row_start:row_stop, col_start:col_stop])
-                self.tiles.append((coordinate, crossbar))
+                array.program(stacked, ideal=not self.noise.programming_noise)
+                self._groups.append(
+                    _TileGroup(
+                        row_offset, col_offset, n_row, n_col, tile_rows, tile_cols, array
+                    )
+                )
+                index += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def tiles(self) -> List[Tuple[TileCoordinate, Crossbar]]:
+        """Per-tile ``(coordinate, Crossbar)`` pairs of the reference backend.
+
+        The vectorized backend has no per-tile objects — raising here keeps
+        'wrong backend' loudly distinct from 'no tiles'.  Use
+        :attr:`tile_coordinates` for geometry on either backend.
+        """
+        if self.backend != "reference":
+            raise RuntimeError(
+                "per-tile Crossbar objects exist only on backend='reference'; "
+                "use tile_coordinates for the tile geometry"
+            )
+        return self._tiles
 
     @property
     def n_crossbars(self) -> int:
         """Total number of crossbars used by this matrix."""
-        return len(self.tiles)
+        return len(self.tile_coordinates)
 
     @property
     def utilization(self) -> float:
@@ -189,6 +362,9 @@ class TiledMatrix:
         allocated = self.n_crossbars * self.crossbar_rows * self.crossbar_cols
         return (rows * cols) / allocated
 
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
     def mvm(self, inputs: np.ndarray) -> np.ndarray:
         """Tiled MVM: broadcast over column splits, reduce over row splits."""
         inputs = np.asarray(inputs, dtype=float)
@@ -199,16 +375,79 @@ class TiledMatrix:
             raise ValueError(
                 f"input length {batch.shape[1]} does not match matrix rows {rows}"
             )
-        output = np.zeros((batch.shape[0], cols))
-        for coordinate, crossbar in self.tiles:
+        if self.backend == "reference":
+            output = self._mvm_reference(batch)
+        else:
+            output = self._mvm_vectorized(batch)
+        return output[0] if single else output
+
+    def _mvm_reference(self, batch: np.ndarray) -> np.ndarray:
+        """Seed semantics: one Python-level ``Crossbar.mvm`` call per tile."""
+        output = np.zeros((batch.shape[0], self.weights_shape[1]))
+        for coordinate, crossbar in self._tiles:
             tile_inputs = batch[:, coordinate.row_start : coordinate.row_stop]
             partial = crossbar.mvm(tile_inputs)
             output[:, coordinate.col_start : coordinate.col_stop] += partial
-        return output[0] if single else output
+        return output
+
+    def _effective_dense(self) -> np.ndarray:
+        """Effective weights of every tile assembled into one dense matrix.
+
+        The per-tile device state lives in the stacked arrays; this GEMM
+        layout is cached alongside it and rebuilt only when a stacked array
+        hands back a fresh tensor — reprogramming or read noise — which the
+        identity of the returned arrays tracks exactly (the cached sources
+        are kept referenced, so ``is`` cannot alias recycled objects).
+        """
+        noise = self.noise
+        stacks = [
+            group.array.effective_weights(
+                time_s=noise.drift_time_s, read_noise=noise.read_noise
+            )
+            for group in self._groups
+        ]
+        if self._dense_src is not None and all(
+            new is old for new, old in zip(stacks, self._dense_src)
+        ):
+            return self._dense
+        dense = np.empty(self.weights_shape)
+        for group, stacked in zip(self._groups, stacks):
+            dense[
+                group.row_offset : group.row_offset + group.n_row * group.tile_rows,
+                group.col_offset : group.col_offset + group.n_col * group.tile_cols,
+            ] = group.dense_block(stacked)
+        if noise.deterministic_read:
+            self._dense = dense
+            self._dense_src = stacks
+        return dense
+
+    def _mvm_vectorized(self, batch: np.ndarray) -> np.ndarray:
+        """One batched GEMM per layer; converters applied once per batch.
+
+        The broadcast-over-column-splits / reduce-over-row-splits einsum
+        ``bir,ijrc->bjc`` collapses into ``batch @ dense`` once the shape
+        groups are assembled into one dense matrix: the GEMM's own reduction
+        performs the digital sum over row splits.
+        """
+        noise = self.noise
+        if noise.converter_quantization:
+            batch = noise.dac.convert(batch)
+        output = batch @ self._effective_dense()
+        if noise.ir_drop_factor != 1.0:
+            output *= noise.ir_drop_factor
+        if noise.converter_quantization:
+            output = noise.adc.convert(output, rng=self._rng)
+        return output
 
 
 class AnalogExecutor:
-    """Runs a whole DNN graph through the tiled analog crossbar model."""
+    """Runs a whole DNN graph through the tiled analog crossbar model.
+
+    ``backend`` selects the tiled execution engine (see :class:`TiledMatrix`);
+    layer seeds are spawned from one :class:`numpy.random.SeedSequence` so
+    every layer — and every tile within a layer — draws from an independent
+    stream.
+    """
 
     def __init__(
         self,
@@ -218,17 +457,23 @@ class AnalogExecutor:
         crossbar_rows: int = 256,
         crossbar_cols: int = 256,
         seed: int = 0,
+        backend: str = "vectorized",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         graph.infer_shapes()
         self.graph = graph
         self.noise = noise if noise is not None else NoiseModel.typical()
+        self.backend = backend
         self.parameters = (
             parameters if parameters is not None else initialize_parameters(graph, seed)
         )
         self.crossbar_rows = crossbar_rows
         self.crossbar_cols = crossbar_cols
         self._tiled: Dict[int, TiledMatrix] = {}
-        for node in graph.analog_nodes():
+        analog_nodes = graph.analog_nodes()
+        layer_seeds = np.random.SeedSequence(seed).spawn(len(analog_nodes))
+        for node, layer_seed in zip(analog_nodes, layer_seeds):
             layer = node.layer
             if getattr(layer, "groups", 1) != 1:
                 continue  # depthwise layers fall back to the digital reference
@@ -238,11 +483,14 @@ class AnalogExecutor:
                 crossbar_rows=crossbar_rows,
                 crossbar_cols=crossbar_cols,
                 noise=self.noise,
-                seed=seed + node.node_id,
+                seed=layer_seed,
+                backend=backend,
             )
         self._executor = ReferenceExecutor(
             graph, parameters=self.parameters, mvm_hook=self._mvm_hook
         )
+        self._reference_executor: Optional[ReferenceExecutor] = None
+        self._reference_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def total_crossbars(self) -> int:
@@ -264,8 +512,25 @@ class AnalogExecutor:
         return self._executor.run_output(input_tensor)
 
     def compare_with_reference(self, input_tensor: np.ndarray) -> float:
-        """RMS error of the analog output against the digital reference."""
-        reference = ReferenceExecutor(self.graph, parameters=self.parameters)
+        """RMS error of the analog output against the digital reference.
+
+        The digital executor — and its output for the last input seen — are
+        cached, so repeated comparisons (e.g. sweeping noise settings on the
+        same image) pay for the digital forward pass only once.
+        """
+        input_tensor = np.asarray(input_tensor, dtype=float)
+        if self._reference_executor is None:
+            self._reference_executor = ReferenceExecutor(
+                self.graph, parameters=self.parameters
+            )
+        cached = self._reference_cache
+        if (
+            cached is None
+            or cached[0].shape != input_tensor.shape
+            or not np.array_equal(cached[0], input_tensor)
+        ):
+            digital_output = self._reference_executor.run_output(input_tensor)
+            self._reference_cache = (input_tensor.copy(), digital_output)
+        digital_output = self._reference_cache[1]
         analog_output = self.run_output(input_tensor)
-        digital_output = reference.run_output(input_tensor)
         return float(np.sqrt(np.mean((analog_output - digital_output) ** 2)))

@@ -47,6 +47,18 @@ class NoiseModel:
         if self.drift_time_s is not None and self.drift_time_s < 0:
             raise ValueError("drift_time_s cannot be negative")
 
+    @property
+    def deterministic_read(self) -> bool:
+        """Whether repeated reads of the array return identical weights.
+
+        ``NoiseModel`` is frozen, so the drift time is fixed for the life of
+        the model and drift is deterministic; only per-read conductance
+        noise varies between reads.  When this is true the vectorized
+        engine computes effective weights once at program time and serves
+        every MVM from that device-state cache (invalidated on reprogram).
+        """
+        return not self.read_noise
+
     # ------------------------------------------------------------------ #
     # Presets
     # ------------------------------------------------------------------ #

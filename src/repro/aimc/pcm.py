@@ -18,9 +18,11 @@ few percent of ``g_max`` and drift exponent around 0.03.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+SeedLike = Union[None, int, np.random.SeedSequence]
 
 
 @dataclass(frozen=True)
@@ -69,7 +71,7 @@ class PCMArray:
         rows: int,
         cols: int,
         cell: Optional[PCMCellSpec] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ):
         if rows <= 0 or cols <= 0:
             raise ValueError("array dimensions must be positive")
@@ -147,3 +149,146 @@ class PCMArray:
         target = np.asarray(target_weights, dtype=float)
         actual = self.effective_weights()
         return float(np.sqrt(np.mean((target - actual) ** 2)))
+
+
+class StackedPCMArray:
+    """Differential PCM pairs for a stack of equally-shaped crossbar tiles.
+
+    The vectorized execution engine programs every tile of one shape group
+    into a single ``stack_shape + (rows, cols)`` conductance-pair tensor, so
+    one einsum reads the whole group at once instead of looping over
+    :class:`PCMArray` objects.  Each tile keeps its own weight-to-conductance
+    scale (the per-tile ``max |w|`` normalisation the per-tile arrays use),
+    stored broadcastable against the conductances.
+
+    Unlike :class:`PCMArray`, the stacked array holds exactly the programmed
+    slice — tiles are never zero-padded to the physical crossbar size, so
+    memory scales with the actual weights.
+
+    Device-state cache: when reads are deterministic (no read noise — drift
+    at a fixed time is deterministic), :meth:`effective_weights` is computed
+    once and cached.  The cache is invalidated by :meth:`program` and by a
+    call with a different drift time; read-noise reads always bypass it.
+    """
+
+    __slots__ = (
+        "stack_shape",
+        "rows",
+        "cols",
+        "cell",
+        "_rng",
+        "_g_plus",
+        "_g_minus",
+        "_target_scale",
+        "_programmed",
+        "_cache_time",
+        "_cache",
+    )
+
+    #: sentinel marking the cache as empty (``None`` is a valid drift time).
+    _NO_CACHE = object()
+
+    def __init__(
+        self,
+        stack_shape: Tuple[int, ...],
+        rows: int,
+        cols: int,
+        cell: Optional[PCMCellSpec] = None,
+        seed: SeedLike = None,
+    ):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if any(n <= 0 for n in stack_shape):
+            raise ValueError("stack dimensions must be positive")
+        self.stack_shape = tuple(int(n) for n in stack_shape)
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell if cell is not None else PCMCellSpec()
+        self._rng = np.random.default_rng(seed)
+        self._g_plus: Optional[np.ndarray] = None
+        self._g_minus: Optional[np.ndarray] = None
+        self._target_scale: Optional[np.ndarray] = None
+        self._programmed = False
+        self._cache_time: object = self._NO_CACHE
+        self._cache: Optional[np.ndarray] = None
+
+    @property
+    def full_shape(self) -> Tuple[int, ...]:
+        """Shape of the stacked conductance tensor."""
+        return self.stack_shape + (self.rows, self.cols)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles held by the stack."""
+        return int(np.prod(self.stack_shape))
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program(self, weights: np.ndarray, ideal: bool = False) -> None:
+        """Program all tiles at once from a stacked signed weight tensor.
+
+        ``weights`` has shape ``stack_shape + (rows, cols)``; each tile is
+        normalised by its own largest magnitude, exactly as the per-tile
+        :meth:`PCMArray.program` does.  Invalidates the device-state cache.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self.full_shape:
+            raise ValueError(
+                f"stacked weight shape {weights.shape} does not match array "
+                f"{self.full_shape}"
+            )
+        max_abs = np.max(np.abs(weights), axis=(-2, -1), keepdims=True)
+        self._target_scale = np.where(max_abs > 0, max_abs, 1.0)
+        normalized = weights / self._target_scale  # in [-1, 1] per tile
+        g_range = self.cell.g_range_us
+        g_plus = np.where(normalized > 0, normalized, 0.0) * g_range + self.cell.g_min_us
+        g_minus = np.where(normalized < 0, -normalized, 0.0) * g_range + self.cell.g_min_us
+        if not ideal:
+            sigma = self.cell.programming_noise_frac * self.cell.g_max_us
+            g_plus = g_plus + self._rng.normal(0.0, sigma, size=g_plus.shape)
+            g_minus = g_minus + self._rng.normal(0.0, sigma, size=g_minus.shape)
+        self._g_plus = np.clip(g_plus, self.cell.g_min_us, self.cell.g_max_us)
+        self._g_minus = np.clip(g_minus, self.cell.g_min_us, self.cell.g_max_us)
+        self._programmed = True
+        self._cache_time = self._NO_CACHE
+        self._cache = None
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether the stack has been programmed since construction."""
+        return self._programmed
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def effective_weights(
+        self, time_s: Optional[float] = None, read_noise: bool = False
+    ) -> np.ndarray:
+        """Stacked signed weights currently encoded by the conductances.
+
+        Deterministic reads (``read_noise=False``) are served from the
+        device-state cache when the drift time matches the cached one; the
+        returned array is shared and must not be mutated by callers.
+        """
+        if not self._programmed:
+            raise RuntimeError("the PCM array has not been programmed")
+        if not read_noise and self._cache_time is not self._NO_CACHE:
+            if self._cache_time == time_s:
+                return self._cache
+        g_plus = self._g_plus
+        g_minus = self._g_minus
+        if time_s is not None and time_s > self.cell.drift_t0_s:
+            drift = (time_s / self.cell.drift_t0_s) ** (-self.cell.drift_nu)
+            g_plus = g_plus * drift
+            g_minus = g_minus * drift
+        if read_noise:
+            sigma = self.cell.read_noise_frac * self.cell.g_max_us
+            g_plus = g_plus + self._rng.normal(0.0, sigma, size=g_plus.shape)
+            g_minus = g_minus + self._rng.normal(0.0, sigma, size=g_minus.shape)
+        differential = (g_plus - g_minus) / self.cell.g_range_us
+        weights = differential * self._target_scale
+        if not read_noise:
+            self._cache_time = time_s
+            self._cache = weights
+        return weights

@@ -57,18 +57,13 @@ def im2col(
     out_w = (width + 2 * padding - kernel_size) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError("convolution geometry produces an empty output")
-    columns = np.empty(
-        (out_h * out_w, channels * kernel_size * kernel_size), dtype=ifm.dtype
-    )
-    index = 0
-    for row in range(out_h):
-        for col in range(out_w):
-            r0 = row * stride
-            c0 = col * stride
-            patch = padded[:, r0 : r0 + kernel_size, c0 : c0 + kernel_size]
-            columns[index] = patch.reshape(-1)
-            index += 1
-    return columns
+    # (C, H', W', K, K) strided view of every kernel window, then subsampled
+    # by the stride — no Python loop over output pixels.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kernel_size, kernel_size), axis=(1, 2)
+    )[:, ::stride, ::stride]
+    columns = windows[:, :out_h, :out_w].transpose(1, 2, 0, 3, 4)
+    return columns.reshape(out_h * out_w, channels * kernel_size * kernel_size)
 
 
 def conv2d_reference(
@@ -206,6 +201,14 @@ class ReferenceExecutor:
     An optional ``mvm_hook`` replaces the matrix multiplication of analog
     layers; :mod:`repro.aimc.crossbar` uses it to run the same graph through
     the analog crossbar model and compare against the digital reference.
+
+    Hook contract: ``mvm_hook(node, inputs, weight_matrix)`` receives the
+    **whole layer batch** in one call — every im2col row of a convolution
+    (shape ``(out_h * out_w, rows)``) or the single flattened vector of a
+    linear layer (shape ``(1, rows)``) — and must return the matching
+    ``(batch, cols)`` result.  The vectorized analog backend relies on this
+    one-call-per-layer batching to amortise DAC/ADC conversion and the
+    einsum dispatch; hooks must not assume one call per output pixel.
     """
 
     def __init__(

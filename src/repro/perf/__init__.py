@@ -1,0 +1,12 @@
+"""Persistent performance tracking for the hot paths of the library.
+
+``python -m repro.perf.bench`` times the tier-0 scenarios (tiled-MVM
+micro, ResNet-18 analog forward on both backends, FINAL-mapping
+``simulate()``), writes a ``BENCH_PR<n>.json`` trajectory file at the repo
+root, and compares against the previous ``BENCH_*.json`` so every PR can
+prove it did not regress the paths it claims to speed up.  ``--check``
+exits nonzero on a >20% regression without writing a new file.
+
+The runner lives in :mod:`repro.perf.bench`; it is intentionally not
+imported here so ``python -m repro.perf.bench`` executes it exactly once.
+"""

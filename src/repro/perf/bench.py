@@ -1,0 +1,405 @@
+"""Benchmark runner: times the tier-0 scenarios and tracks the trajectory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m repro.perf.bench            # write BENCH_PR<n>.json
+    PYTHONPATH=src python -m repro.perf.bench --check    # exit 1 on >20% regression
+    PYTHONPATH=src python -m repro.perf.bench --quick    # smaller, faster inputs
+
+Scenarios (each emits ``<scenario>.<metric>`` keys; ``*_s`` keys are
+wall-clock seconds, lower is better, and are the ones regression-checked):
+
+* ``micro_mvm`` — one tiled MVM through :class:`~repro.aimc.TiledMatrix`
+  on both backends;
+* ``analog_forward`` — a full ResNet-18 analog forward pass through
+  :class:`~repro.aimc.AnalogExecutor` on both backends, the microbenchmark
+  behind the vectorized-engine speedup claim;
+* ``final_mapping`` — the event-driven ``simulate()`` of the fully
+  optimised paper mapping, the tier-0 system-simulation hot path.
+
+The analog scenarios use a deterministic-read PCM config (programming
+noise and converters on, fixed drift time, read noise off) so the
+vectorized backend's device-state cache is active — the configuration the
+fast path is designed for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..aimc import AnalogExecutor, NoiseModel, TiledMatrix
+from ..arch import ArchConfig
+from ..core import MappingOptimizer, OptimizationLevel, lower_to_workload
+from ..dnn import models
+from ..dnn.numerics import initialize_parameters, random_input
+from ..sim import simulate
+
+#: relative slowdown versus the previous trajectory point that counts as a
+#: regression (0.20 = 20% slower).
+REGRESSION_THRESHOLD = 0.20
+
+#: absolute slack (seconds) added on top of the relative threshold so that
+#: scheduler jitter on sub-millisecond timings cannot trip the gate.
+REGRESSION_SLACK_S = 1e-4
+
+#: trajectory files are ``BENCH_PR<n>.json`` at the repo root.
+_RESULT_NAME = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Sizes and repeat counts of the benchmark scenarios."""
+
+    repeats: int = 5
+    #: weight matrix of the tiled-MVM microbenchmark.
+    micro_matrix_shape: Tuple[int, int] = (1024, 1024)
+    micro_batch: int = 64
+    crossbar_size: int = 256
+    #: input of the ResNet-18 analog forward pass.  Deliberately small: the
+    #: microbenchmark isolates the per-tile dispatch / device-state-derivation
+    #: overhead the vectorized engine removes, which is independent of the
+    #: pixel count, rather than the shared BLAS work that grows with it.
+    forward_input: Tuple[int, int, int] = (3, 16, 16)
+    forward_classes: int = 100
+    #: batch size of the FINAL-mapping simulation (the paper uses 16).
+    sim_batch: int = 16
+    #: input of the FINAL-mapping network (the paper maps 256x256 inputs).
+    sim_input: Tuple[int, int, int] = (3, 256, 256)
+    #: cluster count of the simulated system; ``None`` = the paper's 512.
+    sim_clusters: Optional[int] = None
+    #: crossbar size of the scaled simulated system (paper value 256; the
+    #: FINAL ResNet-18 mapping does not fit on smaller crossbars).
+    sim_crossbar: int = 256
+    scenarios: Tuple[str, ...] = ("micro_mvm", "analog_forward", "final_mapping")
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """Small sizes for smoke runs and tests — every scenario shrinks."""
+        return cls(
+            repeats=1,
+            micro_matrix_shape=(192, 160),
+            micro_batch=8,
+            crossbar_size=64,
+            forward_input=(3, 12, 12),
+            forward_classes=10,
+            sim_batch=4,
+            sim_input=(3, 64, 64),
+            sim_clusters=256,
+        )
+
+
+def _bench_noise() -> NoiseModel:
+    """Deterministic-read PCM configuration: the device-state cache is valid."""
+    return NoiseModel(
+        programming_noise=True,
+        read_noise=False,
+        converter_quantization=True,
+        drift_time_s=3600.0,
+    )
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` after one warm-up call."""
+    fn()  # warm caches (device state, BLAS thread pools, einsum paths)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Scenarios
+# --------------------------------------------------------------------------- #
+def bench_micro_mvm(config: BenchConfig) -> Dict[str, float]:
+    """One tiled MVM on both backends, same weights/inputs/noise."""
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=config.micro_matrix_shape)
+    inputs = rng.normal(size=(config.micro_batch, config.micro_matrix_shape[0]))
+    noise = _bench_noise()
+    results: Dict[str, float] = {}
+    for backend in ("reference", "vectorized"):
+        tiled = TiledMatrix(
+            weights,
+            crossbar_rows=config.crossbar_size,
+            crossbar_cols=config.crossbar_size,
+            noise=noise,
+            seed=0,
+            backend=backend,
+        )
+        results[f"micro_mvm.{backend}_s"] = _time(lambda: tiled.mvm(inputs), config.repeats)
+    results["micro_mvm.speedup"] = (
+        results["micro_mvm.reference_s"] / results["micro_mvm.vectorized_s"]
+    )
+    return results
+
+
+def bench_analog_forward(config: BenchConfig) -> Dict[str, float]:
+    """ResNet-18 analog forward pass on both backends."""
+    graph = models.resnet18(
+        input_shape=config.forward_input, num_classes=config.forward_classes
+    )
+    parameters = initialize_parameters(graph, seed=0)
+    image = random_input(graph, seed=1)
+    noise = _bench_noise()
+    results: Dict[str, float] = {}
+    for backend in ("reference", "vectorized"):
+        executor = AnalogExecutor(
+            graph,
+            parameters=parameters,
+            noise=noise,
+            crossbar_rows=config.crossbar_size,
+            crossbar_cols=config.crossbar_size,
+            seed=0,
+            backend=backend,
+        )
+        results[f"analog_forward.{backend}_s"] = _time(
+            lambda: executor.run_output(image), config.repeats
+        )
+    results["analog_forward.speedup"] = (
+        results["analog_forward.reference_s"] / results["analog_forward.vectorized_s"]
+    )
+    return results
+
+
+def bench_final_mapping(config: BenchConfig) -> Dict[str, float]:
+    """Event-driven simulation of the fully optimised paper mapping.
+
+    The mapping itself is built outside the timed region; the timing covers
+    ``simulate()`` only, matching the ~520 ms seed baseline in ROADMAP.md.
+    """
+    graph = models.resnet18(input_shape=config.sim_input)
+    if config.sim_clusters is None:
+        arch = ArchConfig.paper()
+    else:
+        arch = ArchConfig.scaled(
+            n_clusters=config.sim_clusters, crossbar_size=config.sim_crossbar
+        )
+    optimizer = MappingOptimizer(graph, arch, batch_size=config.sim_batch)
+    mapping = optimizer.build(OptimizationLevel.FINAL)
+    workload = lower_to_workload(mapping)
+    return {
+        "final_mapping.simulate_s": _time(
+            lambda: simulate(arch, workload), config.repeats
+        )
+    }
+
+
+SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
+    "micro_mvm": bench_micro_mvm,
+    "analog_forward": bench_analog_forward,
+    "final_mapping": bench_final_mapping,
+}
+
+
+def run_benchmarks(config: Optional[BenchConfig] = None) -> Dict[str, float]:
+    """Run the configured scenarios and merge their metric dictionaries."""
+    config = config if config is not None else BenchConfig()
+    results: Dict[str, float] = {}
+    for name in config.scenarios:
+        results.update(SCENARIOS[name](config))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Trajectory files and regression comparison
+# --------------------------------------------------------------------------- #
+def find_previous_result(root: Path, exclude: Optional[Path] = None) -> Optional[Path]:
+    """Latest ``BENCH_PR<n>.json`` under ``root`` (highest PR number)."""
+    candidates: List[Tuple[int, Path]] = []
+    for path in root.glob("BENCH_*.json"):
+        if exclude is not None and path.resolve() == exclude.resolve():
+            continue
+        match = _RESULT_NAME.match(path.name)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def next_output_path(root: Path) -> Path:
+    """``BENCH_PR<n+1>.json`` following the latest trajectory point."""
+    previous = find_previous_result(root)
+    if previous is None:
+        return root / "BENCH_PR1.json"
+    number = int(_RESULT_NAME.match(previous.name).group(1))
+    return root / f"BENCH_PR{number + 1}.json"
+
+
+def compare_results(
+    old: Dict[str, float],
+    new: Dict[str, float],
+    threshold: float = REGRESSION_THRESHOLD,
+    slack_s: float = REGRESSION_SLACK_S,
+) -> List[str]:
+    """Regression messages for every shared timing that got >threshold slower.
+
+    Only ``*_s`` keys (wall-clock seconds, lower is better) are compared;
+    derived metrics like speedups are informational.  ``slack_s`` absorbs
+    absolute jitter on very small timings.
+    """
+    regressions: List[str] = []
+    for key in sorted(set(old) & set(new)):
+        if not key.endswith("_s"):
+            continue
+        before, after = float(old[key]), float(new[key])
+        if before > 0 and after > before * (1.0 + threshold) + slack_s:
+            regressions.append(
+                f"{key}: {after * 1e3:.1f} ms vs {before * 1e3:.1f} ms "
+                f"(+{(after / before - 1.0) * 100.0:.0f}%)"
+            )
+    return regressions
+
+
+def load_payload(path: Path) -> Dict[str, object]:
+    """One full trajectory file (schema, config and results)."""
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def load_results(path: Path) -> Dict[str, float]:
+    """The ``results`` dictionary of one trajectory file."""
+    return load_payload(path)["results"]
+
+
+def comparable_configs(old_config: object, new_config: BenchConfig) -> bool:
+    """Whether two trajectory points were measured with the same sizes.
+
+    Timings from different scenario sizes (e.g. a ``--quick`` smoke run vs
+    the full configuration) are not comparable; the regression gate must
+    not fire across them.  ``repeats`` may differ — it affects variance,
+    not the best-of timing being measured.
+    """
+    if not isinstance(old_config, dict):
+        return False
+    old = dict(old_config)
+    new = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in asdict(new_config).items()
+    }
+    old.pop("repeats", None)
+    new.pop("repeats", None)
+    # only shared scenarios are compared, so scenario selection may differ
+    old.pop("scenarios", None)
+    new.pop("scenarios", None)
+    return old == new
+
+
+def write_results(
+    path: Path, results: Dict[str, float], config: BenchConfig
+) -> None:
+    """Write one trajectory point (schema 1)."""
+    payload = {
+        "schema": 1,
+        "label": path.stem,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": asdict(config),
+        "results": results,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _format_table(results: Dict[str, float]) -> str:
+    lines = []
+    for key in sorted(results):
+        value = results[key]
+        unit = f"{value * 1e3:10.2f} ms" if key.endswith("_s") else f"{value:10.2f} x"
+        lines.append(f"  {key:<32}{unit}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Time the tier-0 scenarios and track BENCH_*.json trajectory.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the latest BENCH_*.json and exit 1 on a "
+        f">{REGRESSION_THRESHOLD:.0%} regression; writes nothing",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small inputs (smoke runs / CI)"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path("."), help="repo root holding BENCH_*.json"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="output path (default BENCH_PR<n+1>.json)"
+    )
+    args = parser.parse_args(argv)
+
+    config = BenchConfig.quick() if args.quick else BenchConfig()
+    if args.repeats is not None:
+        config = replace(config, repeats=args.repeats)
+    if args.scenario:
+        config = replace(config, scenarios=tuple(args.scenario))
+
+    results = run_benchmarks(config)
+    print("benchmark results:")
+    print(_format_table(results))
+
+    # quick smoke runs never enter the BENCH_PR<n> trajectory: their sizes
+    # are not comparable with the full configuration.
+    if args.output is not None:
+        output = args.output
+    elif args.quick:
+        output = args.root / "BENCH_QUICK.json"
+    else:
+        output = next_output_path(args.root)
+    previous = find_previous_result(args.root, exclude=output)
+    regressions: List[str] = []
+    if previous is not None:
+        payload = load_payload(previous)
+        if comparable_configs(payload.get("config"), config):
+            regressions = compare_results(payload["results"], results)
+            if regressions:
+                print(f"regressions vs {previous.name}:")
+                for message in regressions:
+                    print(f"  {message}")
+            else:
+                print(f"no regressions vs {previous.name}")
+        else:
+            print(
+                f"configs differ from {previous.name} (e.g. --quick vs full); "
+                "skipping regression comparison"
+            )
+    else:
+        print("no previous BENCH_*.json to compare against")
+
+    if args.check:
+        return 1 if regressions else 0
+
+    write_results(output, results, config)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

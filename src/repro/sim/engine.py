@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 from collections import deque
 
@@ -34,6 +33,8 @@ class SimulationError(RuntimeError):
 
 class Engine:
     """Event queue and simulated clock."""
+
+    __slots__ = ("_queue", "_counter", "_now", "_events_processed", "_running")
 
     def __init__(self):
         self._queue: List[Tuple[int, int, Callback]] = []
@@ -70,8 +71,14 @@ class Engine:
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``until`` / ``max_events`` is hit).
 
-        Returns the simulated time at which the run stopped.
+        Returns the simulated time at which the run stopped.  A bounded run
+        always leaves the clock at ``until`` when the queue drains earlier,
+        so back-to-back ``run(until=...)`` calls observe a consistent,
+        monotonic clock regardless of how the events happen to be spaced.
+        A bound in the past is a no-op: the clock never moves backward.
         """
+        if until is not None and until < self._now:
+            return self._now
         self._running = True
         processed = 0
         try:
@@ -87,6 +94,8 @@ class Engine:
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
+            if until is not None and not self._queue and self._now < until:
+                self._now = until
         finally:
             self._running = False
         return self._now
@@ -96,11 +105,23 @@ class Engine:
         return not self._queue
 
 
-@dataclass
 class _ServerJob:
-    duration: int
-    on_done: Callback
-    enqueued_at: int
+    """One queued unit of service; ``finish`` is the completion event.
+
+    Holding the owning server lets the engine schedule the bound method
+    ``job.finish`` directly instead of allocating a closure per job.
+    """
+
+    __slots__ = ("server", "duration", "on_done", "enqueued_at")
+
+    def __init__(self, server: "Server", duration: int, on_done: Callback, enqueued_at: int):
+        self.server = server
+        self.duration = duration
+        self.on_done = on_done
+        self.enqueued_at = enqueued_at
+
+    def finish(self) -> None:
+        self.server._finish(self)
 
 
 class Server:
@@ -110,6 +131,19 @@ class Server:
     "serviced" for its duration and the completion callback fires.  The
     server keeps busy-time and queueing statistics used by the tracer.
     """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "capacity",
+        "_in_service",
+        "_waiting",
+        "busy_time",
+        "jobs_served",
+        "total_wait",
+        "total_service",
+        "_busy_slot_time",
+    )
 
     def __init__(self, engine: Engine, name: str, capacity: int = 1):
         if capacity <= 0:
@@ -146,7 +180,7 @@ class Server:
         """Submit a job needing ``duration`` cycles of service."""
         if duration < 0:
             raise SimulationError("job duration cannot be negative")
-        job = _ServerJob(int(duration), on_done, self.engine.now)
+        job = _ServerJob(self, int(duration), on_done, self.engine.now)
         self._waiting.append(job)
         self._try_start()
 
@@ -159,7 +193,7 @@ class Server:
             self.total_wait += wait
             self.total_service += job.duration
             self._busy_slot_time += job.duration
-            self.engine.after(job.duration, lambda j=job: self._finish(j))
+            self.engine.after(job.duration, job.finish)
 
     def _finish(self, job: _ServerJob) -> None:
         self._in_service -= 1
@@ -176,6 +210,16 @@ class CreditStore:
     consumed and its L1 slot freed.  An initial credit count of 2 models the
     double-buffered tiles of the paper's execution model.
     """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_credits",
+        "_waiting",
+        "total_wait",
+        "acquisitions",
+        "_wait_since",
+    )
 
     def __init__(self, engine: Engine, name: str, initial: int = 2):
         if initial < 0:

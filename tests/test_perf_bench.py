@@ -1,0 +1,182 @@
+"""Tests for the performance-tracking harness (repro.perf)."""
+
+import json
+
+import pytest
+
+from dataclasses import replace
+
+from repro.perf.bench import (
+    BenchConfig,
+    REGRESSION_THRESHOLD,
+    bench_micro_mvm,
+    comparable_configs,
+    compare_results,
+    find_previous_result,
+    load_results,
+    main,
+    next_output_path,
+    run_benchmarks,
+    write_results,
+)
+
+#: tiny configuration so scenario tests stay fast.
+TINY = BenchConfig(
+    repeats=1,
+    micro_matrix_shape=(96, 80),
+    micro_batch=4,
+    crossbar_size=32,
+    scenarios=("micro_mvm",),
+)
+
+
+def _config_dict(config):
+    """The config exactly as it round-trips through a trajectory file."""
+    from dataclasses import asdict
+
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in asdict(config).items()
+    }
+
+
+class TestComparison:
+    def test_no_regression_when_faster(self):
+        old = {"a.x_s": 1.0, "a.speedup": 2.0}
+        new = {"a.x_s": 0.9, "a.speedup": 1.0}
+        assert compare_results(old, new) == []
+
+    def test_regression_beyond_threshold_flagged(self):
+        old = {"a.x_s": 1.0}
+        new = {"a.x_s": 1.0 * (1.0 + REGRESSION_THRESHOLD) + 0.01}
+        messages = compare_results(old, new)
+        assert len(messages) == 1 and "a.x_s" in messages[0]
+
+    def test_slowdown_within_threshold_tolerated(self):
+        old = {"a.x_s": 1.0}
+        new = {"a.x_s": 1.0 + REGRESSION_THRESHOLD - 0.05}
+        assert compare_results(old, new) == []
+
+    def test_non_timing_keys_ignored(self):
+        old = {"a.speedup": 10.0, "a.x_s": 1.0}
+        new = {"a.speedup": 1.0, "a.x_s": 1.0}
+        assert compare_results(old, new) == []
+
+    def test_disjoint_keys_ignored(self):
+        assert compare_results({"a.x_s": 1.0}, {"b.y_s": 99.0}) == []
+
+    def test_absolute_slack_absorbs_sub_millisecond_jitter(self):
+        # 0.05 ms -> 0.10 ms is +100% but far below the slack scale
+        assert compare_results({"a.x_s": 5e-5}, {"a.x_s": 1e-4}) == []
+
+    def test_configs_comparable_ignoring_repeats_and_scenarios(self):
+        import json
+
+        base = BenchConfig()
+        other = replace(base, repeats=99, scenarios=("micro_mvm",))
+        serialized = json.loads(json.dumps(_config_dict(other)))
+        assert comparable_configs(serialized, base)
+        assert not comparable_configs(_config_dict(BenchConfig.quick()), base)
+        assert not comparable_configs(None, base)
+
+
+class TestTrajectoryFiles:
+    def test_no_previous_in_empty_root(self, tmp_path):
+        assert find_previous_result(tmp_path) is None
+        assert next_output_path(tmp_path).name == "BENCH_PR1.json"
+
+    def test_latest_by_pr_number_not_mtime(self, tmp_path):
+        for number in (2, 10, 1):
+            (tmp_path / f"BENCH_PR{number}.json").write_text("{}")
+        latest = find_previous_result(tmp_path)
+        assert latest.name == "BENCH_PR10.json"
+        assert next_output_path(tmp_path).name == "BENCH_PR11.json"
+
+    def test_exclude_output_file(self, tmp_path):
+        (tmp_path / "BENCH_PR1.json").write_text("{}")
+        assert find_previous_result(tmp_path, exclude=tmp_path / "BENCH_PR1.json") is None
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_PR1.json"
+        results = {"micro_mvm.vectorized_s": 0.001}
+        write_results(path, results, TINY)
+        assert load_results(path) == results
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["config"]["scenarios"] == ["micro_mvm"]
+
+
+class TestScenarios:
+    def test_micro_mvm_reports_both_backends(self):
+        results = bench_micro_mvm(TINY)
+        assert results["micro_mvm.reference_s"] > 0
+        assert results["micro_mvm.vectorized_s"] > 0
+        assert results["micro_mvm.speedup"] > 0
+
+    def test_run_benchmarks_respects_scenario_selection(self):
+        results = run_benchmarks(TINY)
+        assert set(results) == {
+            "micro_mvm.reference_s",
+            "micro_mvm.vectorized_s",
+            "micro_mvm.speedup",
+        }
+
+
+class TestCLI:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "--quick",
+            "--scenario",
+            "micro_mvm",
+            "--root",
+            str(tmp_path),
+            *extra,
+        ]
+
+    def test_quick_run_writes_outside_the_trajectory(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        assert (tmp_path / "BENCH_QUICK.json").exists()
+        assert not (tmp_path / "BENCH_PR1.json").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_check_mode_writes_nothing(self, tmp_path):
+        assert main(self._argv(tmp_path, "--check")) == 0
+        assert list(tmp_path.glob("BENCH_*.json")) == []
+
+    def test_check_fails_on_regression(self, tmp_path):
+        # previous point claims near-zero timings: anything real regresses
+        write_results(
+            tmp_path / "BENCH_PR1.json",
+            {"micro_mvm.reference_s": 1e-12, "micro_mvm.vectorized_s": 1e-12},
+            BenchConfig.quick(),
+        )
+        assert main(self._argv(tmp_path, "--check")) == 1
+
+    def test_check_passes_against_slower_history(self, tmp_path):
+        write_results(
+            tmp_path / "BENCH_PR1.json",
+            {"micro_mvm.reference_s": 1e9, "micro_mvm.vectorized_s": 1e9},
+            BenchConfig.quick(),
+        )
+        assert main(self._argv(tmp_path, "--check")) == 0
+
+    def test_check_skips_comparison_across_configs(self, tmp_path, capsys):
+        # a full-size trajectory point must not gate a quick smoke run
+        write_results(
+            tmp_path / "BENCH_PR1.json",
+            {"micro_mvm.reference_s": 1e-12, "micro_mvm.vectorized_s": 1e-12},
+            BenchConfig(),
+        )
+        assert main(self._argv(tmp_path, "--check")) == 0
+        assert "skipping regression comparison" in capsys.readouterr().out
+
+    def test_quick_reruns_overwrite_quick_file_only(self, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        assert main(self._argv(tmp_path)) == 0
+        names = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert names == ["BENCH_QUICK.json"]
+
+    def test_explicit_output_into_new_directory(self, tmp_path):
+        target = tmp_path / "nested" / "BENCH_PR1.json"
+        assert main(self._argv(tmp_path, "--output", str(target))) == 0
+        assert target.exists()

@@ -53,6 +53,43 @@ class TestEngine:
         engine.run()
         assert fired
 
+    def test_run_until_advances_clock_when_queue_drains(self):
+        engine = Engine()
+        engine.at(5, lambda: None)
+        assert engine.run(until=50) == 50
+        assert engine.now == 50
+
+    def test_back_to_back_bounded_runs_keep_consistent_clock(self):
+        engine = Engine()
+        seen = []
+        engine.at(10, lambda: seen.append(engine.now))
+        assert engine.run(until=100) == 100
+        # a second bounded run on the drained queue still lands on its bound
+        assert engine.run(until=250) == 250
+        engine.after(5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [10, 255]
+
+    def test_run_with_past_bound_never_moves_clock_backward(self):
+        engine = Engine()
+        engine.at(60, lambda: None)
+        assert engine.run(until=50) == 50
+        # a stale (smaller) bound is a no-op, not a clock rewind
+        assert engine.run(until=40) == 50
+        assert engine.now == 50
+        engine.run()
+        assert engine.now == 60
+
+    def test_max_events_with_queue_left_does_not_jump_to_until(self):
+        engine = Engine()
+        engine.at(1, lambda: None)
+        engine.at(2, lambda: None)
+        engine.run(until=100, max_events=1)
+        assert engine.now == 1
+
+    def test_engine_uses_slots(self):
+        assert not hasattr(Engine(), "__dict__")
+
     def test_past_scheduling_rejected(self):
         engine = Engine()
         engine.at(10, lambda: None)
@@ -116,6 +153,11 @@ class TestServer:
             Server(engine, "s", capacity=0)
         with pytest.raises(SimulationError):
             Server(engine, "s").submit(-1, lambda: None)
+
+    def test_server_and_credit_store_use_slots(self):
+        engine = Engine()
+        assert not hasattr(Server(engine, "s"), "__dict__")
+        assert not hasattr(CreditStore(engine, "c"), "__dict__")
 
 
 class TestCreditStore:
