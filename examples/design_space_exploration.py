@@ -2,63 +2,94 @@
 """Design-space exploration: crossbar size, cluster count and batch size.
 
 Sec. VI of the paper discusses how the architecture could evolve (larger
-IMA arrays, heterogeneous cluster flavours).  This example sweeps three of
-those axes on a mid-size workload and prints the resulting throughput and
-efficiency, which is the kind of study the library makes cheap:
+IMA arrays, heterogeneous cluster flavours).  This example expresses three
+of those axes as declarative :class:`~repro.scenarios.ScenarioGrid` sweeps
+and executes them through the :class:`~repro.scenarios.SweepRunner` — the
+same engine behind ``python -m repro.scenarios`` — sharing one artifact
+cache so common work (the ResNet-18 graph, repeated design points) is
+computed once:
 
 * crossbar size: 128x128 vs 256x256 (the paper's choice) vs 512x512,
-* system size: 64 to 512 clusters,
+* system size: 256 to 512 clusters,
 * batch size: 1 (mobile-style, no pipelining benefit) to 32.
 
 Run with::
 
-    python examples/design_space_exploration.py
+    PYTHONPATH=src python examples/design_space_exploration.py
+
+The equivalent spec-file workflow is ``python -m repro.scenarios
+examples/sweep_spec.toml`` (see that file for the declarative form).
 """
 
-from repro import ArchConfig, OptimizationLevel, models, run_inference
+from repro import ArtifactCache, Scenario, ScenarioGrid, SweepRunner
+
+#: the mid-size workload every sweep uses.
+BASE = Scenario(model="resnet18", input_shape=(3, 256, 256), level="final")
+
+#: one artifact cache (and therefore one runner) shared by all three sweeps.
+#: ``on_error="record"`` keeps infeasible design points (mappings that do
+#: not fit the cluster budget) from aborting a sweep.
+RUNNER = SweepRunner(max_workers=1, cache=ArtifactCache(), on_error="record")
+
+
+def _print_failures(result) -> None:
+    """Report every infeasible point so no grid row silently vanishes."""
+    for failure in result.failures:
+        print(f"  {failure.label}: infeasible ({failure.message})")
 
 
 def sweep_crossbar_size() -> None:
     print("== crossbar size sweep (ResNet-18, 256 clusters, batch 8) ==")
-    network = models.resnet18(input_shape=(3, 256, 256))
-    for size in (128, 256, 512):
-        arch = ArchConfig.scaled(n_clusters=256, crossbar_size=size)
-        report = run_inference(network, arch, batch_size=8, with_breakdown=False)
-        m = report.metrics
+    grid = ScenarioGrid.from_axes(
+        base=BASE.replace(n_clusters=256, batch_size=8),
+        crossbar_size=(128, 256, 512),
+    )
+    result = RUNNER.run(grid)
+    for outcome in result:
+        m = outcome.metrics
+        size = outcome.scenario.crossbar_size
         print(
             f"  {size}x{size}: {m.throughput_tops:6.2f} TOPS  "
             f"{m.area_efficiency_gops_mm2:6.1f} GOPS/mm2  "
             f"{m.used_clusters:3d} clusters used"
         )
+    # 128x128 lands here: the deepest ResNet-18 layers would need more
+    # clusters than the 256-cluster system has (the feasibility cliff
+    # behind the paper's 256x256 choice).
+    _print_failures(result)
     print()
 
 
 def sweep_cluster_count() -> None:
     print("== cluster-count sweep (ResNet-18, 256x256 IMAs, batch 8) ==")
-    network = models.resnet18(input_shape=(3, 256, 256))
-    for n_clusters in (256, 384, 512):
-        arch = ArchConfig.scaled(n_clusters=n_clusters, crossbar_size=256)
-        report = run_inference(network, arch, batch_size=8, with_breakdown=False)
-        m = report.metrics
+    grid = ScenarioGrid.from_axes(
+        base=BASE.replace(batch_size=8), n_clusters=(256, 384, 512)
+    )
+    result = RUNNER.run(grid)
+    for outcome in result:
+        m = outcome.metrics
         print(
-            f"  {n_clusters:4d} clusters: {m.throughput_tops:6.2f} TOPS  "
+            f"  {outcome.scenario.n_clusters:4d} clusters: "
+            f"{m.throughput_tops:6.2f} TOPS  "
             f"{m.images_per_second:6.0f} img/s  {m.used_clusters:3d} used"
         )
+    _print_failures(result)
     print()
 
 
 def sweep_batch_size() -> None:
     print("== batch-size sweep (ResNet-18, 512 clusters) ==")
-    network = models.resnet18(input_shape=(3, 256, 256))
-    arch = ArchConfig.paper()
-    for batch in (1, 4, 16, 32):
-        report = run_inference(network, arch, batch_size=batch, with_breakdown=False)
-        m = report.metrics
+    grid = ScenarioGrid.from_axes(base=BASE, batch_size=(1, 4, 16, 32))
+    result = RUNNER.run(grid)
+    for outcome in result:
+        m = outcome.metrics
         print(
-            f"  batch {batch:3d}: {m.throughput_tops:6.2f} TOPS  "
+            f"  batch {outcome.scenario.batch_size:3d}: "
+            f"{m.throughput_tops:6.2f} TOPS  "
             f"{m.images_per_second:6.0f} img/s  "
             f"{m.latency_per_image_ms:6.2f} ms/img"
         )
+    _print_failures(result)
     print()
 
 
@@ -66,6 +97,11 @@ def main() -> None:
     sweep_crossbar_size()
     sweep_cluster_count()
     sweep_batch_size()
+    stats = RUNNER.cache.stats
+    print(
+        f"(artifact cache over all sweeps: {stats.hit_count()} hits, "
+        f"{stats.miss_count()} misses)"
+    )
 
 
 if __name__ == "__main__":

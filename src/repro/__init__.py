@@ -16,7 +16,11 @@ The package is organised as:
 * :mod:`repro.analysis` — metrics, breakdowns and the Fig. 5/6/7 analyses;
 * :mod:`repro.perf` — the benchmark runner tracking the ``BENCH_*.json``
   performance trajectory (``python -m repro.perf.bench``);
-* :mod:`repro.runner` — one-call end-to-end flow.
+* :mod:`repro.scenarios` — declarative experiment specs
+  (:class:`Scenario`/:class:`ScenarioGrid`, TOML/JSON spec files), the
+  content-hash-keyed :class:`ArtifactCache`, the stage pipeline and the
+  parallel :class:`SweepRunner` (``python -m repro.scenarios spec.toml``);
+* :mod:`repro.runner` — one-call end-to-end flow, built on the same stages.
 
 Performance note: the analog execution path has two backends.  The default
 ``backend="vectorized"`` stacks all tiles of a layer into
@@ -39,20 +43,36 @@ from .runner import (
     run_inference,
     run_optimization_study,
 )
+from .scenarios import (
+    ArtifactCache,
+    Scenario,
+    ScenarioGrid,
+    SweepRunner,
+    load_spec,
+    run_scenario,
+    run_sweep,
+)
 from .sim import simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchConfig",
+    "ArtifactCache",
     "InferenceReport",
     "MappingOptimizer",
     "OptimizationLevel",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepRunner",
     "__version__",
     "format_study",
+    "load_spec",
     "lower_to_workload",
     "models",
     "run_inference",
     "run_optimization_study",
+    "run_scenario",
+    "run_sweep",
     "simulate",
 ]

@@ -7,6 +7,7 @@ TOPS/W and GOPS/mm2.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -38,6 +39,20 @@ class PerformanceMetrics:
     energy_efficiency_tops_w: float
     hbm_traffic_mb: float
     noc_traffic_mb: float
+
+    def as_record(self) -> Dict[str, object]:
+        """Complete plain-data rendering (JSON-safe), losslessly invertible.
+
+        Unlike :meth:`as_dict` — a curated selection for reports — this is
+        the serialisation layer the scenario subsystem uses to move metrics
+        across process boundaries and into JSON result files.
+        """
+        return dict(dataclasses.asdict(self))
+
+    @classmethod
+    def from_record(cls, payload: Dict[str, object]) -> "PerformanceMetrics":
+        """Inverse of :meth:`as_record`."""
+        return cls(**payload)
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of the scalar metrics (for reports and tests)."""

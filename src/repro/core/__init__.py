@@ -14,6 +14,7 @@ from .costs import (
 from .mapping import (
     LayerMapping,
     MappingOptions,
+    MappingRecord,
     NetworkMapping,
     assign_groups,
     build_mapping,
@@ -40,6 +41,7 @@ __all__ = [
     "LayerSplit",
     "MappingOptimizer",
     "MappingOptions",
+    "MappingRecord",
     "NETWORK_INPUT_LABEL",
     "NETWORK_OUTPUT_LABEL",
     "NetworkMapping",

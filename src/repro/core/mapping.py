@@ -18,6 +18,7 @@ simulator workload and the analysis layer mines for utilisation statistics.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -111,6 +112,35 @@ class LayerMapping:
         return self.split.cell_utilization
 
 
+@dataclass(frozen=True)
+class MappingRecord:
+    """Lightweight, picklable summary of a :class:`NetworkMapping`.
+
+    Sweep orchestration (``repro.scenarios``) ships results between worker
+    processes; the full mapping carries the graph and every per-layer
+    placement, which the sweep tables never need.  This record keeps the
+    aggregate statistics the paper reports (Sec. VI efficiency factors).
+    """
+
+    name: str
+    batch_size: int
+    n_used_clusters: int
+    total_clusters: int
+    global_mapping_efficiency: float
+    local_mapping_efficiency: float
+    total_crossbars: int
+    total_stored_params: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary (JSON-safe) rendering of the declared fields."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MappingRecord":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**payload)
+
+
 @dataclass
 class NetworkMapping:
     """Complete mapping of a DNN graph onto an architecture."""
@@ -194,6 +224,19 @@ class NetworkMapping:
     def layer(self, node_id: int) -> LayerMapping:
         """Mapping of one node."""
         return self.layers[node_id]
+
+    def record(self) -> MappingRecord:
+        """The lightweight, serialisable summary of this mapping."""
+        return MappingRecord(
+            name=self.options.name,
+            batch_size=self.options.batch_size,
+            n_used_clusters=self.n_used_clusters,
+            total_clusters=self.arch.n_clusters,
+            global_mapping_efficiency=self.global_mapping_efficiency,
+            local_mapping_efficiency=self.local_mapping_efficiency,
+            total_crossbars=self.total_crossbars,
+            total_stored_params=self.total_stored_params,
+        )
 
     def summary(self) -> str:
         """Human-readable per-layer mapping table."""

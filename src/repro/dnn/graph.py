@@ -100,6 +100,9 @@ class Graph:
         self._consumers: Dict[int, List[int]] = {}
         self._next_id = 0
         self._shapes_valid = False
+        #: bumped on every structural edit; lets content-addressed callers
+        #: (e.g. the scenario fingerprint cache) detect staleness cheaply.
+        self.structure_version = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -126,6 +129,7 @@ class Graph:
         for src in inputs:
             self._consumers[src].append(node_id)
         self._shapes_valid = False
+        self.structure_version += 1
         return node_id
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,13 @@ wall-clock seconds, lower is better, and are the ones regression-checked):
   :class:`~repro.aimc.AnalogExecutor` on both backends, the microbenchmark
   behind the vectorized-engine speedup claim;
 * ``final_mapping`` — the event-driven ``simulate()`` of the fully
-  optimised paper mapping, the tier-0 system-simulation hot path.
+  optimised paper mapping, the tier-0 system-simulation hot path (built
+  through the ``repro.scenarios`` stage pipeline; the timed region is the
+  simulation stage alone);
+* ``scenario_sweep`` — a three-axis design-space sweep through the
+  scenario subsystem, cold (empty artifact cache) vs warm (every mapping
+  and simulation served from the cache), the macrobenchmark behind the
+  repeated-sweep speedup claim.
 
 The analog scenarios use a deterministic-read PCM config (programming
 noise and converters on, fixed drift time, read noise off) so the
@@ -37,11 +43,19 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..aimc import AnalogExecutor, NoiseModel, TiledMatrix
-from ..arch import ArchConfig
-from ..core import MappingOptimizer, OptimizationLevel, lower_to_workload
+from ..core import OptimizationLevel
 from ..dnn import models
 from ..dnn.numerics import initialize_parameters, random_input
-from ..sim import simulate
+from ..scenarios import (
+    ArtifactCache,
+    Scenario,
+    ScenarioGrid,
+    SweepRunner,
+    graph_stage,
+    mapping_stage,
+    simulation_stage,
+    workload_stage,
+)
 
 #: relative slowdown versus the previous trajectory point that counts as a
 #: regression (0.20 = 20% slower).
@@ -79,7 +93,22 @@ class BenchConfig:
     #: crossbar size of the scaled simulated system (paper value 256; the
     #: FINAL ResNet-18 mapping does not fit on smaller crossbars).
     sim_crossbar: int = 256
-    scenarios: Tuple[str, ...] = ("micro_mvm", "analog_forward", "final_mapping")
+    #: the three-axis sweep of the scenario-cache macrobenchmark.  A small
+    #: network keeps one grid run in the tens of milliseconds: the scenario
+    #: times the orchestration + cache layer, not the simulator itself
+    #: (``final_mapping`` covers that).
+    sweep_model: str = "tiny_cnn"
+    sweep_input: Tuple[int, int, int] = (3, 32, 32)
+    sweep_classes: int = 10
+    sweep_crossbars: Tuple[int, ...] = (128, 256)
+    sweep_clusters: Tuple[int, ...] = (32, 64)
+    sweep_batches: Tuple[int, ...] = (2, 4)
+    scenarios: Tuple[str, ...] = (
+        "micro_mvm",
+        "analog_forward",
+        "final_mapping",
+        "scenario_sweep",
+    )
 
     @classmethod
     def quick(cls) -> "BenchConfig":
@@ -94,6 +123,10 @@ class BenchConfig:
             sim_batch=4,
             sim_input=(3, 64, 64),
             sim_clusters=256,
+            sweep_input=(3, 16, 16),
+            sweep_crossbars=(64,),
+            sweep_clusters=(16,),
+            sweep_batches=(2, 4),
         )
 
 
@@ -175,30 +208,73 @@ def bench_analog_forward(config: BenchConfig) -> Dict[str, float]:
 def bench_final_mapping(config: BenchConfig) -> Dict[str, float]:
     """Event-driven simulation of the fully optimised paper mapping.
 
-    The mapping itself is built outside the timed region; the timing covers
-    ``simulate()`` only, matching the ~520 ms seed baseline in ROADMAP.md.
+    The flow runs through the scenario stage pipeline, but the mapping and
+    lowering stages execute outside the timed region and the simulation
+    stage runs uncached: the timing covers the event-driven simulation
+    only, matching the ~520 ms seed baseline in ROADMAP.md.
     """
-    graph = models.resnet18(input_shape=config.sim_input)
-    if config.sim_clusters is None:
-        arch = ArchConfig.paper()
-    else:
-        arch = ArchConfig.scaled(
-            n_clusters=config.sim_clusters, crossbar_size=config.sim_crossbar
-        )
-    optimizer = MappingOptimizer(graph, arch, batch_size=config.sim_batch)
-    mapping = optimizer.build(OptimizationLevel.FINAL)
-    workload = lower_to_workload(mapping)
+    scenario = Scenario(
+        model="resnet18",
+        input_shape=config.sim_input,
+        batch_size=config.sim_batch,
+        level=OptimizationLevel.FINAL.value,
+        n_clusters=config.sim_clusters,
+        crossbar_size=config.sim_crossbar,
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(graph, arch, scenario.batch_size, scenario.level_enum)
+    workload = workload_stage(mapping)
     return {
         "final_mapping.simulate_s": _time(
-            lambda: simulate(arch, workload), config.repeats
+            lambda: simulation_stage(arch, workload), config.repeats
         )
     }
+
+
+def bench_scenario_sweep(config: BenchConfig) -> Dict[str, float]:
+    """Three-axis sweep through the scenario subsystem, cold vs warm cache.
+
+    ``cold_s`` runs the grid against a fresh :class:`ArtifactCache` (every
+    mapping built, every point simulated); ``warm_s`` re-runs the identical
+    grid against a cache populated by a previous run, so every stage is
+    served from cached artifacts and only orchestration plus analysis
+    execute.  The ratio is the repeated-sweep speedup the cache buys.
+    """
+    grid = ScenarioGrid.from_axes(
+        base=Scenario(
+            model=config.sweep_model,
+            input_shape=config.sweep_input,
+            num_classes=config.sweep_classes,
+            level=OptimizationLevel.FINAL.value,
+        ),
+        crossbar_size=config.sweep_crossbars,
+        n_clusters=config.sweep_clusters,
+        batch_size=config.sweep_batches,
+    )
+    scenarios = grid.expand()
+    results: Dict[str, float] = {
+        "scenario_sweep.cold_s": _time(
+            lambda: SweepRunner(max_workers=1, cache=ArtifactCache()).run(scenarios),
+            config.repeats,
+        )
+    }
+    warm_runner = SweepRunner(max_workers=1, cache=ArtifactCache())
+    warm_runner.run(scenarios)  # populate the cache once
+    results["scenario_sweep.warm_s"] = _time(
+        lambda: warm_runner.run(scenarios), config.repeats
+    )
+    results["scenario_sweep.cache_speedup"] = (
+        results["scenario_sweep.cold_s"] / results["scenario_sweep.warm_s"]
+    )
+    return results
 
 
 SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "micro_mvm": bench_micro_mvm,
     "analog_forward": bench_analog_forward,
     "final_mapping": bench_final_mapping,
+    "scenario_sweep": bench_scenario_sweep,
 }
 
 
@@ -279,21 +355,25 @@ def comparable_configs(old_config: object, new_config: BenchConfig) -> bool:
     Timings from different scenario sizes (e.g. a ``--quick`` smoke run vs
     the full configuration) are not comparable; the regression gate must
     not fire across them.  ``repeats`` may differ — it affects variance,
-    not the best-of timing being measured.
+    not the best-of timing being measured.  A newer ``BenchConfig`` may
+    *grow* fields for newly added scenarios without severing the
+    trajectory (only shared ``*_s`` keys are regression-checked anyway),
+    but every field the old point recorded must still exist and match: a
+    removed or renamed field means the old sizes can no longer be proven
+    equal, so the gate must not compare across it.
     """
     if not isinstance(old_config, dict):
         return False
-    old = dict(old_config)
     new = {
         key: list(value) if isinstance(value, tuple) else value
         for key, value in asdict(new_config).items()
     }
-    old.pop("repeats", None)
-    new.pop("repeats", None)
-    # only shared scenarios are compared, so scenario selection may differ
-    old.pop("scenarios", None)
-    new.pop("scenarios", None)
-    return old == new
+    # repeats affects variance only; scenario selection only gates which
+    # timings exist, and disjoint timings are skipped by compare_results.
+    old_keys = set(old_config) - {"repeats", "scenarios"}
+    if not old_keys or not old_keys <= set(new):
+        return False
+    return all(old_config[key] == new[key] for key in old_keys)
 
 
 def write_results(

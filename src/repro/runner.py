@@ -10,6 +10,13 @@ Fig. 5A):
 
     report = run_inference(models.resnet18(), ArchConfig.paper(), batch_size=16)
     print(report.metrics.throughput_tops)
+
+Both are thin drivers over the composable stage pipeline of
+:mod:`repro.scenarios.pipeline` (mapping → workload → simulation →
+analysis).  Passing an :class:`~repro.scenarios.cache.ArtifactCache` makes
+repeated calls skip any stage whose inputs were already seen — a study over
+all three mapping levels, for example, shares one optimizer balance pass,
+and re-running a sweep serves mappings and simulations from the cache.
 """
 
 from __future__ import annotations
@@ -25,9 +32,15 @@ from .analysis.waterfall import Waterfall, compute_waterfall
 from .arch.config import ArchConfig
 from .core.mapping import NetworkMapping
 from .core.optimizer import MappingOptimizer, OptimizationLevel
-from .core.pipeline import lower_to_workload
 from .dnn.graph import Graph
-from .sim.system import SimulationResult, simulate
+from .scenarios.cache import ArtifactCache
+from .scenarios.pipeline import (
+    mapping_stage,
+    optimizer_stage,
+    simulation_stage,
+    workload_stage,
+)
+from .sim.system import SimulationResult
 from .sim.workload import Workload
 
 
@@ -63,20 +76,28 @@ def run_inference(
     with_breakdown: bool = True,
     with_group_efficiency: bool = False,
     optimizer: Optional[MappingOptimizer] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> InferenceReport:
-    """Map ``graph`` on ``arch``, simulate a batch, and analyse the result."""
+    """Map ``graph`` on ``arch``, simulate a batch, and analyse the result.
+
+    With a ``cache``, every stage (mapping build, lowering, simulation) is
+    served from previously computed artifacts when the inputs match.
+    """
     arch = arch if arch is not None else ArchConfig.paper()
-    if optimizer is None:
-        optimizer = MappingOptimizer(graph, arch, batch_size=batch_size)
-    mapping = optimizer.build(level)
-    workload = lower_to_workload(mapping)
-    result = simulate(arch, workload)
+    mapping = mapping_stage(
+        graph, arch, batch_size, level, optimizer=optimizer, cache=cache
+    )
+    workload = workload_stage(mapping, cache=cache)
+    result = simulation_stage(arch, workload, cache=cache)
     metrics = compute_metrics(result, mapping, name=f"{graph.name}-{level.value}")
 
     waterfall = None
     group_efficiency: List[GroupEfficiencyRow] = []
     if with_waterfall or with_group_efficiency:
-        compute_only = simulate(arch, lower_to_workload(mapping, zero_communication=True))
+        compute_only_workload = workload_stage(
+            mapping, zero_communication=True, cache=cache
+        )
+        compute_only = simulation_stage(arch, compute_only_workload, cache=cache)
         if with_waterfall:
             waterfall = compute_waterfall(
                 mapping, full_result=result, compute_only_result=compute_only
@@ -102,15 +123,27 @@ def run_optimization_study(
     arch: Optional[ArchConfig] = None,
     batch_size: int = 16,
     levels: Optional[List[OptimizationLevel]] = None,
+    cache: Optional[ArtifactCache] = None,
     **kwargs,
 ) -> Dict[OptimizationLevel, InferenceReport]:
-    """Run the naive / replicated / final comparison of Fig. 5A."""
+    """Run the naive / replicated / final comparison of Fig. 5A.
+
+    The mapping optimizer (and its pipeline-balance pass) is shared across
+    levels — via the cache's optimizer region when a ``cache`` is given,
+    via one explicit instance otherwise.
+    """
     arch = arch if arch is not None else ArchConfig.paper()
     levels = levels if levels is not None else list(OptimizationLevel.all())
-    optimizer = MappingOptimizer(graph, arch, batch_size=batch_size)
+    optimizer = optimizer_stage(graph, arch, batch_size, cache=cache)
     return {
         level: run_inference(
-            graph, arch, batch_size=batch_size, level=level, optimizer=optimizer, **kwargs
+            graph,
+            arch,
+            batch_size=batch_size,
+            level=level,
+            optimizer=optimizer,
+            cache=cache,
+            **kwargs,
         )
         for level in levels
     }

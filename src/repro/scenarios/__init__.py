@@ -1,0 +1,56 @@
+"""Declarative experiment scenarios, artifact caching and parallel sweeps.
+
+This subsystem turns the repo's end-to-end flow into reusable machinery:
+
+* :mod:`repro.scenarios.spec` — :class:`Scenario` (one experiment as plain
+  data) and :class:`ScenarioGrid` (cartesian sweeps), loadable from
+  TOML/JSON spec files;
+* :mod:`repro.scenarios.fingerprint` — stable content hashes of graphs,
+  architectures and mapping decisions;
+* :mod:`repro.scenarios.cache` — the content-hash-keyed
+  :class:`ArtifactCache` serving mappings, workloads and simulation
+  results across repeated experiments;
+* :mod:`repro.scenarios.pipeline` — the flow as explicit stages
+  (graph → mapping → workload → simulation → metrics), each cacheable,
+  plus :func:`run_scenario`;
+* :mod:`repro.scenarios.sweep` — :class:`SweepRunner`, executing
+  independent scenarios across worker processes with a serial fallback;
+* ``python -m repro.scenarios spec.toml`` — the CLI front-end.
+"""
+
+from .cache import ArtifactCache, CacheStats
+from .fingerprint import canonicalize, fingerprint
+from .pipeline import (
+    ScenarioOutcome,
+    graph_stage,
+    mapping_stage,
+    optimizer_stage,
+    run_scenario,
+    simulation_stage,
+    workload_stage,
+)
+from .spec import Scenario, ScenarioGrid, SpecError, load_spec, parse_spec
+from .sweep import ScenarioFailure, SweepResult, SweepRunner, run_sweep
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "Scenario",
+    "ScenarioFailure",
+    "ScenarioGrid",
+    "ScenarioOutcome",
+    "SpecError",
+    "SweepResult",
+    "SweepRunner",
+    "canonicalize",
+    "fingerprint",
+    "graph_stage",
+    "load_spec",
+    "mapping_stage",
+    "optimizer_stage",
+    "parse_spec",
+    "run_scenario",
+    "run_sweep",
+    "simulation_stage",
+    "workload_stage",
+]

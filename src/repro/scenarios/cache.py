@@ -1,0 +1,134 @@
+"""Content-hash-keyed artifact cache for the experiment pipeline.
+
+Sweeps share work: every mapping level of an optimisation study shares the
+graph and the tiling, a batch-size sweep shares every mapping except the
+batch dimension, and a re-run of an identical sweep shares *everything*.
+:class:`ArtifactCache` lets the pipeline stages (:mod:`repro.scenarios.
+pipeline`) skip straight past any stage whose inputs were already seen,
+keyed by the stable content fingerprints of :mod:`repro.scenarios.
+fingerprint`.
+
+The cache is a process-local, region-structured LRU store.  Regions keep
+unrelated artifact kinds (mappings, workloads, simulation results,
+optimizers) from evicting each other and give per-kind hit statistics,
+which the tests use to assert things like "a warm sweep re-run performs
+zero new simulations".
+
+Invalidation never happens implicitly: keys are pure functions of content,
+so a changed spec simply produces a new key.  Cross-process persistence is
+a ROADMAP follow-on; within a :class:`~repro.scenarios.sweep.SweepRunner`
+worker each process owns an independent cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per region and overall."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, region: str, hit: bool) -> None:
+        counters = self.hits if hit else self.misses
+        counters[region] = counters.get(region, 0) + 1
+
+    def hit_count(self, region: Optional[str] = None) -> int:
+        """Hits in one region, or across all regions when ``region`` is None."""
+        if region is not None:
+            return self.hits.get(region, 0)
+        return sum(self.hits.values())
+
+    def miss_count(self, region: Optional[str] = None) -> int:
+        """Misses in one region, or across all regions when ``region`` is None."""
+        if region is not None:
+            return self.misses.get(region, 0)
+        return sum(self.misses.values())
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (for before/after comparisons in tests)."""
+        return CacheStats(hits=dict(self.hits), misses=dict(self.misses))
+
+    def format(self) -> str:
+        regions = sorted(set(self.hits) | set(self.misses))
+        parts = [
+            f"{region}: {self.hits.get(region, 0)} hit / "
+            f"{self.misses.get(region, 0)} miss"
+            for region in regions
+        ]
+        return "; ".join(parts) if parts else "(empty)"
+
+
+class ArtifactCache:
+    """Region-structured LRU cache keyed by content fingerprints."""
+
+    #: region names used by the pipeline stages.
+    REGION_GRAPH = "graph"
+    REGION_OPTIMIZER = "optimizer"
+    REGION_MAPPING = "mapping"
+    REGION_WORKLOAD = "workload"
+    REGION_SIMULATION = "simulation"
+
+    def __init__(self, max_entries_per_region: Optional[int] = None):
+        if max_entries_per_region is not None and max_entries_per_region <= 0:
+            raise ValueError("max_entries_per_region must be positive when given")
+        self.max_entries_per_region = max_entries_per_region
+        self.stats = CacheStats()
+        self._regions: Dict[str, OrderedDict] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def get_or_create(self, region: str, key: str, build: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, building it on a miss.
+
+        ``build`` runs outside the lock (it may be expensive and may itself
+        consult the cache); if two threads race on the same key, the first
+        stored value wins so every caller sees one consistent artifact.
+        """
+        with self._lock:
+            store = self._regions.setdefault(region, OrderedDict())
+            if key in store:
+                store.move_to_end(key)
+                self.stats.record(region, hit=True)
+                return store[key]
+            self.stats.record(region, hit=False)
+        value = build()
+        with self._lock:
+            store = self._regions.setdefault(region, OrderedDict())
+            if key not in store:
+                store[key] = value
+                if (
+                    self.max_entries_per_region is not None
+                    and len(store) > self.max_entries_per_region
+                ):
+                    store.popitem(last=False)
+            return store[key]
+
+    def lookup(self, region: str, key: str) -> Optional[Any]:
+        """The cached artifact, or None (does not count as a hit or miss)."""
+        with self._lock:
+            store = self._regions.get(region)
+            if store is None or key not in store:
+                return None
+            store.move_to_end(key)
+            return store[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(store) for store in self._regions.values())
+
+    def size(self, region: str) -> int:
+        """Number of cached artifacts in one region."""
+        with self._lock:
+            return len(self._regions.get(region, ()))
+
+    def clear(self) -> None:
+        """Drop every cached artifact (statistics are kept)."""
+        with self._lock:
+            self._regions.clear()

@@ -1,0 +1,111 @@
+"""Command-line front-end: run a sweep spec file and report the results.
+
+Usage, from the repo root::
+
+    PYTHONPATH=src python -m repro.scenarios spec.toml
+    PYTHONPATH=src python -m repro.scenarios spec.json --workers 4 --json out.json
+
+The spec file (TOML or JSON, see :func:`repro.scenarios.spec.load_spec`)
+declares a base scenario and optional sweep axes; the CLI expands the grid,
+executes it through the :class:`~repro.scenarios.sweep.SweepRunner`, prints
+a results table and optionally writes the full record-layer results as
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .spec import load_spec
+from .sweep import SweepResult, SweepRunner, default_cache
+
+
+def format_outcomes(result: SweepResult) -> str:
+    """Fixed-width results table of one sweep."""
+    header = (
+        f"{'scenario':<40} {'ms':>8} {'TOPS':>8} {'img/s':>8} "
+        f"{'clusters':>9} {'TOPS/W':>8} {'HBM MB':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in result.outcomes:
+        m = outcome.metrics
+        lines.append(
+            f"{outcome.label:<40} {m.makespan_ms:>8.2f} {m.throughput_tops:>8.2f} "
+            f"{m.images_per_second:>8.0f} {m.used_clusters:>9} "
+            f"{m.energy_efficiency_tops_w:>8.2f} {m.hbm_traffic_mb:>8.1f}"
+        )
+    for failure in result.failures:
+        lines.append(
+            f"{failure.label:<40} infeasible: {failure.error_type}: {failure.message}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run a declarative experiment sweep (TOML/JSON spec file).",
+    )
+    parser.add_argument("spec", type=Path, help="sweep spec file (.toml or .json)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial with a shared cache; "
+        "0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="also write full results as JSON"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the expanded scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        grid = load_spec(args.spec)
+        scenarios = grid.expand()
+    except (TypeError, ValueError) as error:
+        # SpecError (also from expanding invalid axis values), JSON/TOML
+        # decode errors and badly-typed field values (all ValueError/
+        # TypeError family) get the friendly diagnostic.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"{grid.name}: {len(scenarios)} scenario(s)")
+    if args.list:
+        for scenario in scenarios:
+            print(f"  {scenario.label}")
+        return 0
+
+    runner = SweepRunner(
+        max_workers=None if args.workers == 0 else args.workers,
+        cache=None if args.no_cache else default_cache(),
+        on_error="record",  # infeasible grid points must not kill the sweep
+    )
+    result = runner.run(scenarios)
+    print(format_outcomes(result))
+    failed = f", {len(result.failures)} infeasible" if result.failures else ""
+    print(
+        f"ran {len(result)} scenario(s){failed} in {result.elapsed_s:.2f} s "
+        f"on {result.n_workers} worker(s)"
+        + (
+            f"; cache: {result.cache_stats.format()}"
+            if result.cache_stats is not None
+            else ""
+        )
+    )
+    if args.json is not None:
+        payload = {"name": grid.name, **result.as_dict()}
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    # partial infeasibility is a legitimate sweep result; producing nothing
+    # at all is not, and scripted callers need the exit code to say so.
+    return 1 if result.failures and not result.outcomes else 0

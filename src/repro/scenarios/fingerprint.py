@@ -1,0 +1,193 @@
+"""Stable content fingerprints for experiment artifacts.
+
+The artifact cache (:mod:`repro.scenarios.cache`) is keyed by *content*, not
+by object identity: two scenarios that resolve to the same DNN graph, the
+same architecture and the same mapping decisions must produce the same key,
+while any change to any field must produce a different one.  Fingerprints
+are hex SHA-256 digests of a canonical JSON rendering, so they are stable
+across processes and Python invocations (no reliance on ``hash()``, which is
+salted per process).
+
+The canonical form handles the object kinds that appear in specs and
+artifacts: dataclasses (by class name + field values), enums, tensors/graph
+IR objects, numpy scalars and arrays, mappings with non-string keys, and
+sets.  Unknown objects are rejected loudly rather than fingerprinted by
+``repr`` — a silent identity-based key would defeat the cache's correctness
+contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..dnn.graph import Graph
+
+
+class FingerprintError(TypeError):
+    """Raised when an object has no canonical (content-stable) rendering."""
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable structure with a stable order.
+
+    The rendering is injective on the supported domain: distinct values map
+    to distinct structures (class names tag dataclasses and enums so that,
+    e.g., two spec types with identical fields do not collide).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() is the shortest round-trip representation: stable and exact.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": canonicalize(obj.value)}
+    if isinstance(obj, Graph):
+        return _canonicalize_graph(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, "fields": fields}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = sorted(json.dumps(canonicalize(i), sort_keys=True) for i in obj)
+        return {"__set__": items}
+    if isinstance(obj, dict):
+        # Keys may be non-strings (e.g. per-node-id replication factors):
+        # canonicalize them too and sort by the serialised key.
+        items = sorted(
+            (json.dumps(canonicalize(k), sort_keys=True), canonicalize(v))
+            for k, v in obj.items()
+        )
+        return {"__dict__": items}
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": obj.shape,
+            "dtype": str(obj.dtype),
+            "sha256": hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest(),
+        }
+    if isinstance(obj, np.generic):
+        return canonicalize(obj.item())
+    raise FingerprintError(
+        f"cannot fingerprint object of type {type(obj).__name__}; add a "
+        "canonical rendering to repro.scenarios.fingerprint"
+    )
+
+
+def _canonicalize_graph(graph: Graph) -> Any:
+    """A graph is its name plus its nodes (layer payloads and wiring).
+
+    Inferred shapes are deliberately excluded: they are derived from the
+    structure, and including them would make the fingerprint depend on
+    whether :meth:`~repro.dnn.graph.Graph.infer_shapes` ran.
+    """
+    nodes = [
+        {
+            "id": node.node_id,
+            "layer": canonicalize(node.layer),
+            "inputs": list(node.inputs),
+        }
+        for node in graph.nodes
+    ]
+    return {"__graph__": graph.name, "nodes": nodes}
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex SHA-256 digest of the canonical rendering of ``obj``."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Keys of the pipeline stages
+# --------------------------------------------------------------------------- #
+#: attribute used to memoize content digests on artifact objects.
+_DIGEST_ATTR = "_repro_content_digest"
+
+
+def content_digest(obj: Any) -> str:
+    """Fingerprint ``obj``, memoizing the digest on the object itself.
+
+    Canonicalising a paper-scale graph or workload IR costs milliseconds;
+    on a warm cache path that would dominate.  The digest is stored under a
+    private attribute after the first computation, so repeated keying of
+    the *same object* is O(1).  Objects exposing a ``structure_version``
+    counter (:class:`~repro.dnn.graph.Graph` bumps it on every edit) get
+    their memo revalidated against it; the other artifacts flowing through
+    the pipeline are build-once (workloads and mappings are never mutated
+    after lowering).  Objects that reject attribute assignment are simply
+    fingerprinted each time.
+    """
+    version = getattr(obj, "structure_version", None)
+    memo = getattr(obj, _DIGEST_ATTR, None)
+    if memo is not None and memo[0] == version:
+        return memo[1]
+    digest = fingerprint(obj)
+    try:
+        object.__setattr__(obj, _DIGEST_ATTR, (version, digest))
+    except (AttributeError, TypeError):
+        pass
+    return digest
+
+
+def graph_key(graph: Graph) -> str:
+    """Content key of a DNN graph."""
+    return content_digest(graph)
+
+
+def arch_key(arch: Any) -> str:
+    """Content key of an architecture configuration.
+
+    The cosmetic ``name`` field is excluded: ``ArchConfig.paper()`` and
+    ``ArchConfig.scaled(512, 256, 16)`` describe the same hardware and must
+    share cached artifacts regardless of their display labels.
+    """
+    if dataclasses.is_dataclass(arch) and hasattr(arch, "name"):
+        arch = dataclasses.replace(arch, name="")
+    return fingerprint(arch)
+
+
+def mapping_key(
+    graph_fp: str,
+    arch_fp: str,
+    batch_size: int,
+    level: Any,
+    reserve_clusters: int,
+    max_replication: int,
+) -> str:
+    """Key of a built :class:`~repro.core.mapping.NetworkMapping`.
+
+    Derived from the *inputs* of the mapping build (which is deterministic),
+    so a cache hit skips the optimizer entirely.
+    """
+    return fingerprint(
+        ("mapping", graph_fp, arch_fp, batch_size, level, reserve_clusters, max_replication)
+    )
+
+
+def workload_key(mapping_fp: str, zero_communication: bool) -> str:
+    """Key of a lowered :class:`~repro.sim.workload.Workload`."""
+    return fingerprint(("workload", mapping_fp, zero_communication))
+
+
+def simulation_key(
+    arch_fp: str, workload_fp: str, model_contention: bool, buffer_depth: int
+) -> str:
+    """Key of a :class:`~repro.sim.system.SimulationResult`.
+
+    The architecture is part of the key in its own right: the simulator
+    reads timing parameters (HBM burst size, DMA bandwidth, link latencies)
+    straight from the :class:`~repro.arch.config.ArchConfig`, which the
+    workload IR deliberately does not encode.
+    """
+    return fingerprint(
+        ("simulate", arch_fp, workload_fp, model_contention, buffer_depth)
+    )

@@ -1,0 +1,296 @@
+"""The end-to-end flow as explicit, composable, cacheable stages.
+
+The seed code ran every experiment through one monolithic call chain
+(``MappingOptimizer`` → ``lower_to_workload`` → ``simulate`` → analysis).
+This module splits that chain into named stages with a uniform contract:
+
+* each stage is a pure function of its inputs (mapping and lowering are
+  deterministic; the simulator has no randomness), so
+* each stage may be served from an :class:`~repro.scenarios.cache.
+  ArtifactCache` keyed by the content fingerprints of its inputs
+  (:mod:`repro.scenarios.fingerprint`).
+
+``run_scenario`` strings the stages together for one declarative
+:class:`~repro.scenarios.spec.Scenario` and returns a
+:class:`ScenarioOutcome` built from the lightweight record layer
+(:class:`~repro.sim.system.SimulationRecord`,
+:class:`~repro.core.mapping.MappingRecord`,
+:class:`~repro.analysis.metrics.PerformanceMetrics`), which is what the
+sweep engine ships between processes.  The high-level ``repro.run_inference``
+API is built from the same stages, so in-process callers and spec-file
+sweeps hit the same cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis.metrics import PerformanceMetrics, compute_metrics
+from ..arch.config import ArchConfig
+from ..core.mapping import MappingRecord, NetworkMapping
+from ..core.optimizer import MappingOptimizer, OptimizationLevel
+from ..core.pipeline import lower_to_workload
+from ..dnn.graph import Graph
+from ..sim.system import SimulationRecord, SimulationResult, simulate
+from ..sim.workload import Workload
+from .cache import ArtifactCache
+from .fingerprint import (
+    arch_key,
+    content_digest,
+    fingerprint,
+    graph_key,
+    mapping_key,
+    simulation_key,
+    workload_key,
+)
+from .spec import Scenario
+
+
+# --------------------------------------------------------------------------- #
+# Stages
+# --------------------------------------------------------------------------- #
+def graph_stage(scenario: Scenario, cache: Optional[ArtifactCache] = None) -> Graph:
+    """Instantiate (or reuse) the scenario's DNN graph."""
+    if cache is None:
+        return scenario.build_graph()
+    key = fingerprint(
+        ("graph", scenario.model, scenario.input_shape, scenario.num_classes)
+    )
+    return cache.get_or_create(ArtifactCache.REGION_GRAPH, key, scenario.build_graph)
+
+
+def optimizer_stage(
+    graph: Graph,
+    arch: ArchConfig,
+    batch_size: int,
+    *,
+    reserve_clusters: int = 4,
+    max_replication: int = 64,
+    cache: Optional[ArtifactCache] = None,
+) -> MappingOptimizer:
+    """Build (or reuse) the mapping optimizer for one graph/arch/batch point.
+
+    Reuse matters because the optimizer caches the pipeline-balance
+    computation shared by the replicated and final mapping levels.
+    """
+
+    def build() -> MappingOptimizer:
+        return MappingOptimizer(
+            graph,
+            arch,
+            batch_size=batch_size,
+            reserve_clusters=reserve_clusters,
+            max_replication=max_replication,
+        )
+
+    if cache is None:
+        return build()
+    key = fingerprint(
+        (
+            "optimizer",
+            graph_key(graph),
+            arch_key(arch),
+            batch_size,
+            reserve_clusters,
+            max_replication,
+        )
+    )
+    return cache.get_or_create(ArtifactCache.REGION_OPTIMIZER, key, build)
+
+
+def mapping_stage(
+    graph: Graph,
+    arch: ArchConfig,
+    batch_size: int,
+    level: OptimizationLevel,
+    *,
+    optimizer: Optional[MappingOptimizer] = None,
+    cache: Optional[ArtifactCache] = None,
+    reserve_clusters: int = 4,
+    max_replication: int = 64,
+) -> NetworkMapping:
+    """Build (or reuse) the network mapping for one optimisation level.
+
+    The cache key derives from the *inputs* of the deterministic mapping
+    build, so a hit skips the optimizer (including its balance pass)
+    entirely.  A caller-supplied ``optimizer`` overrides ``batch_size`` and
+    the optimizer knobs (it was constructed with its own), and — when a
+    cache is in play — must have been built for this very ``graph`` and
+    ``arch``: the key is computed from the arguments, so a foreign
+    optimizer would poison the cache for every later caller.
+    """
+    if optimizer is not None:
+        if cache is not None and (
+            optimizer.graph is not graph or optimizer.arch is not arch
+        ):
+            if (
+                graph_key(optimizer.graph) != graph_key(graph)
+                or arch_key(optimizer.arch) != arch_key(arch)
+            ):
+                raise ValueError(
+                    "mapping_stage: the supplied optimizer was built for a "
+                    "different graph/arch than the ones being keyed"
+                )
+        batch_size = optimizer.batch_size
+        reserve_clusters = optimizer.reserve_clusters
+        max_replication = optimizer.max_replication
+
+    def build() -> NetworkMapping:
+        opt = optimizer
+        if opt is None:
+            opt = optimizer_stage(
+                graph,
+                arch,
+                batch_size,
+                reserve_clusters=reserve_clusters,
+                max_replication=max_replication,
+                cache=cache,
+            )
+        return opt.build(level)
+
+    if cache is None:
+        return build()
+    key = mapping_key(
+        graph_key(graph),
+        arch_key(arch),
+        batch_size,
+        level,
+        reserve_clusters,
+        max_replication,
+    )
+    return cache.get_or_create(ArtifactCache.REGION_MAPPING, key, build)
+
+
+def _mapping_content_key(mapping: NetworkMapping) -> str:
+    """Content key of a built mapping (graph + arch + mapping decisions).
+
+    ``build_mapping`` is a pure function of these three, so they identify
+    the mapping without fingerprinting every per-layer placement.
+    """
+    return fingerprint(
+        (
+            "mapping-content",
+            graph_key(mapping.graph),
+            arch_key(mapping.arch),
+            mapping.options,
+        )
+    )
+
+
+def workload_stage(
+    mapping: NetworkMapping,
+    *,
+    zero_communication: bool = False,
+    cache: Optional[ArtifactCache] = None,
+) -> Workload:
+    """Lower (or reuse) the simulator workload of a mapping."""
+    if cache is None:
+        return lower_to_workload(mapping, zero_communication=zero_communication)
+    key = workload_key(_mapping_content_key(mapping), zero_communication)
+    return cache.get_or_create(
+        ArtifactCache.REGION_WORKLOAD,
+        key,
+        lambda: lower_to_workload(mapping, zero_communication=zero_communication),
+    )
+
+
+def simulation_stage(
+    arch: ArchConfig,
+    workload: Workload,
+    *,
+    model_contention: bool = True,
+    buffer_depth: int = 2,
+    cache: Optional[ArtifactCache] = None,
+) -> SimulationResult:
+    """Simulate (or reuse) one workload on one architecture.
+
+    The key is fully content-addressed — the fingerprint of the
+    architecture plus the workload IR itself — so two different sweeps
+    that simulate the same point share one simulation, while architectures
+    differing only in simulator-visible timing parameters (HBM burst size,
+    link latencies) never collide even when they lower to identical IR.
+    """
+    if cache is None:
+        return simulate(
+            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+        )
+    key = simulation_key(
+        arch_key(arch), content_digest(workload), model_contention, buffer_depth
+    )
+    return cache.get_or_create(
+        ArtifactCache.REGION_SIMULATION,
+        key,
+        lambda: simulate(
+            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# One scenario, end to end
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Results of one scenario, in the lightweight record layer.
+
+    Everything here is plain data (frozen dataclasses of scalars), so an
+    outcome pickles cheaply across process boundaries and renders to JSON
+    without custom encoders.
+    """
+
+    scenario: Scenario
+    metrics: PerformanceMetrics
+    simulation: SimulationRecord
+    mapping: MappingRecord
+    elapsed_s: float
+
+    @property
+    def label(self) -> str:
+        """The scenario's display label."""
+        return self.scenario.label
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data rendering (JSON-safe) of the outcome."""
+        return {
+            "scenario": self.scenario.as_dict(),
+            "metrics": self.metrics.as_record(),
+            "simulation": self.simulation.as_dict(),
+            "mapping": self.mapping.as_dict(),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def run_scenario(
+    scenario: Scenario, cache: Optional[ArtifactCache] = None
+) -> ScenarioOutcome:
+    """Execute one scenario through every stage and summarise the results."""
+    start = time.perf_counter()
+    graph = graph_stage(scenario, cache)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(
+        graph,
+        arch,
+        scenario.batch_size,
+        scenario.level_enum,
+        cache=cache,
+        reserve_clusters=scenario.reserve_clusters,
+        max_replication=scenario.max_replication,
+    )
+    workload = workload_stage(mapping, cache=cache)
+    result = simulation_stage(
+        arch,
+        workload,
+        model_contention=scenario.model_contention,
+        buffer_depth=scenario.buffer_depth,
+        cache=cache,
+    )
+    metrics = compute_metrics(result, mapping, name=scenario.label)
+    return ScenarioOutcome(
+        scenario=scenario,
+        metrics=metrics,
+        simulation=result.record(),
+        mapping=mapping.record(),
+        elapsed_s=time.perf_counter() - start,
+    )

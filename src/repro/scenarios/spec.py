@@ -1,0 +1,275 @@
+"""Declarative experiment specifications.
+
+A :class:`Scenario` describes one end-to-end experiment — which network, on
+which architecture design point, at which batch size and mapping level,
+with which simulator options — as plain data.  Because a scenario is data
+(no live ``Graph`` or ``ArchConfig`` objects), it can be fingerprinted for
+the artifact cache, pickled to worker processes, loaded from a TOML/JSON
+spec file and expanded from sweep grids.
+
+:class:`ScenarioGrid` expands cartesian sweeps ("crossbar size x cluster
+count x batch size") into explicit scenario lists, which is how the paper's
+design-space studies (Sec. VI) and the Fig. 5 optimisation ladder are
+expressed.  :func:`load_spec` reads either format::
+
+    name = "dse"                    # TOML (JSON uses the same structure)
+
+    [base]
+    model = "resnet18"
+    input_shape = [3, 256, 256]
+    level = "final"
+
+    [axes]
+    crossbar_size = [128, 256, 512]
+    n_clusters = [64, 256]
+    batch_size = [1, 16]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..arch.config import ArchConfig
+from ..core.optimizer import OptimizationLevel
+from ..dnn import models as model_zoo
+from ..dnn.graph import Graph
+
+
+class SpecError(ValueError):
+    """Raised on invalid scenario specifications."""
+
+
+#: fields of :class:`ArchConfig.scaled` that scenarios may set.  When every
+#: one keeps its default the scenario targets the paper's Table I system.
+_PAPER_DEFAULTS = {"n_clusters": None, "crossbar_size": 256, "cores_per_cluster": 16}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment point.
+
+    Everything is plain data so the spec can be hashed, pickled and written
+    to disk.  ``model`` names a builder in :mod:`repro.dnn.models`;
+    architecture fields follow :meth:`ArchConfig.scaled` with ``None``
+    cluster count (and default crossbar/cores) meaning the paper's Table I
+    configuration.
+    """
+
+    model: str = "resnet18"
+    input_shape: Tuple[int, int, int] = (3, 224, 224)
+    num_classes: Optional[int] = None
+    batch_size: int = 16
+    level: str = OptimizationLevel.FINAL.value
+    # -- architecture axes (ArchConfig.scaled) -------------------------- #
+    n_clusters: Optional[int] = None
+    crossbar_size: int = 256
+    cores_per_cluster: int = 16
+    # -- mapping-optimizer knobs ---------------------------------------- #
+    reserve_clusters: int = 4
+    max_replication: int = 64
+    # -- simulator options ----------------------------------------------- #
+    model_contention: bool = True
+    buffer_depth: int = 2
+    # -- optional display name -------------------------------------------- #
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not hasattr(model_zoo, self.model):
+            raise SpecError(
+                f"unknown model {self.model!r}; available: "
+                f"{', '.join(model_zoo.__all__)}"
+            )
+        try:
+            OptimizationLevel(self.level)
+        except ValueError:
+            valid = ", ".join(l.value for l in OptimizationLevel.all())
+            raise SpecError(
+                f"unknown optimisation level {self.level!r}; expected one of {valid}"
+            ) from None
+        if len(tuple(self.input_shape)) != 3:
+            raise SpecError("input_shape must be (channels, height, width)")
+        object.__setattr__(self, "input_shape", tuple(int(d) for d in self.input_shape))
+        if self.batch_size <= 0:
+            raise SpecError("batch_size must be positive")
+        if self.n_clusters is not None and self.n_clusters <= 0:
+            raise SpecError("n_clusters must be positive when given")
+        if self.buffer_depth <= 0:
+            raise SpecError("buffer_depth must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Resolution to live objects
+    # ------------------------------------------------------------------ #
+    @property
+    def level_enum(self) -> OptimizationLevel:
+        """The mapping level as the optimizer's enum."""
+        return OptimizationLevel(self.level)
+
+    @property
+    def targets_paper_arch(self) -> bool:
+        """Whether every architecture axis keeps the paper's Table I value."""
+        return all(
+            getattr(self, name) == value for name, value in _PAPER_DEFAULTS.items()
+        )
+
+    def build_graph(self) -> Graph:
+        """Instantiate the DNN graph this scenario targets."""
+        builder = getattr(model_zoo, self.model)
+        kwargs: Dict[str, object] = {"input_shape": self.input_shape}
+        if self.num_classes is not None:
+            kwargs["num_classes"] = self.num_classes
+        return builder(**kwargs)
+
+    def build_arch(self) -> ArchConfig:
+        """Instantiate the architecture design point this scenario targets."""
+        if self.targets_paper_arch:
+            return ArchConfig.paper()
+        return ArchConfig.scaled(
+            n_clusters=self.n_clusters if self.n_clusters is not None else 512,
+            crossbar_size=self.crossbar_size,
+            cores_per_cluster=self.cores_per_cluster,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier used in tables and logs."""
+        if self.name:
+            return self.name
+        clusters = self.n_clusters if self.n_clusters is not None else 512
+        return (
+            f"{self.model}/{self.level}"
+            f"/x{self.crossbar_size}/c{clusters}/b{self.batch_size}"
+        )
+
+    def replace(self, **changes: object) -> "Scenario":
+        """A copy of this scenario with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data rendering (JSON-safe) of the spec."""
+        payload = dataclasses.asdict(self)
+        payload["input_shape"] = list(self.input_shape)
+        return payload
+
+
+_SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A cartesian sweep: a base scenario plus per-field value axes.
+
+    Expansion order is deterministic: axes vary in their declaration order,
+    with the last axis varying fastest (like nested ``for`` loops).
+    """
+
+    base: Scenario = field(default_factory=Scenario)
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for axis, values in self.axes if isinstance(self.axes, tuple) else tuple(
+            dict(self.axes).items()
+        ):
+            if axis not in _SCENARIO_FIELDS:
+                raise SpecError(
+                    f"unknown sweep axis {axis!r}; scenario fields are "
+                    f"{', '.join(sorted(_SCENARIO_FIELDS))}"
+                )
+            values = tuple(values)
+            if not values:
+                raise SpecError(f"sweep axis {axis!r} has no values")
+            normalized.append((axis, values))
+        object.__setattr__(self, "axes", tuple(normalized))
+
+    @classmethod
+    def from_axes(
+        cls,
+        base: Optional[Scenario] = None,
+        name: str = "sweep",
+        **axes: Sequence[object],
+    ) -> "ScenarioGrid":
+        """Grid from keyword axes: ``ScenarioGrid.from_axes(batch_size=[1, 16])``."""
+        return cls(
+            base=base if base is not None else Scenario(),
+            axes=tuple((axis, tuple(values)) for axis, values in axes.items()),
+            name=name,
+        )
+
+    def __len__(self) -> int:
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def expand(self) -> List[Scenario]:
+        """The explicit scenario list of the cartesian sweep."""
+        if not self.axes:
+            return [self.base]
+        names = [axis for axis, _ in self.axes]
+        scenarios = []
+        for point in itertools.product(*(values for _, values in self.axes)):
+            scenarios.append(self.base.replace(**dict(zip(names, point))))
+        return scenarios
+
+
+# --------------------------------------------------------------------------- #
+# Spec files
+# --------------------------------------------------------------------------- #
+def _coerce_base(raw: Mapping[str, object]) -> Scenario:
+    unknown = set(raw) - _SCENARIO_FIELDS
+    if unknown:
+        raise SpecError(f"unknown scenario field(s) in [base]: {', '.join(sorted(unknown))}")
+    kwargs = dict(raw)
+    if "input_shape" in kwargs:
+        kwargs["input_shape"] = tuple(kwargs["input_shape"])
+    return Scenario(**kwargs)
+
+
+def parse_spec(payload: Mapping[str, object], name: str = "sweep") -> ScenarioGrid:
+    """Build a grid from the parsed TOML/JSON structure."""
+    if not isinstance(payload, Mapping):
+        raise SpecError("spec must be a table/object with [base] and [axes]")
+    unknown = set(payload) - {"name", "base", "axes"}
+    if unknown:
+        # a misspelled [axes] would otherwise silently run a 1-point sweep
+        raise SpecError(
+            f"unknown spec section(s): {', '.join(sorted(map(str, unknown)))} "
+            "(expected name, [base], [axes])"
+        )
+    base = _coerce_base(payload.get("base", {}))
+    axes_raw = payload.get("axes", {})
+    if not isinstance(axes_raw, Mapping):
+        raise SpecError("[axes] must map scenario fields to value lists")
+    axes = []
+    for axis, values in axes_raw.items():
+        if not isinstance(values, (list, tuple)):
+            raise SpecError(f"axis {axis!r} must list its values")
+        if axis == "input_shape":
+            values = [tuple(v) for v in values]
+        axes.append((axis, tuple(values)))
+    return ScenarioGrid(
+        base=base, axes=tuple(axes), name=str(payload.get("name", name))
+    )
+
+
+def load_spec(path: Union[str, Path]) -> ScenarioGrid:
+    """Load a sweep specification from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file {path} does not exist")
+    if path.suffix.lower() == ".json":
+        payload = json.loads(path.read_text())
+    elif path.suffix.lower() == ".toml":
+        import tomllib
+
+        payload = tomllib.loads(path.read_text())
+    else:
+        raise SpecError(f"unsupported spec format {path.suffix!r} (use .toml or .json)")
+    return parse_spec(payload, name=path.stem)

@@ -1,0 +1,267 @@
+"""Parallel sweep engine: execute independent scenarios across processes.
+
+Scenarios are independent by construction (each is a closed description of
+one experiment), so a sweep is embarrassingly parallel.  :class:`SweepRunner`
+fans the expanded scenario list out over a ``concurrent.futures``
+process pool — each worker rebuilds its artifacts from the declarative spec
+and returns only the lightweight :class:`~repro.scenarios.pipeline.
+ScenarioOutcome` records — and falls back to in-process serial execution
+when processes are unavailable (single-CPU boxes, sandboxes without fork
+support) or explicitly disabled.
+
+Serial execution shares one :class:`~repro.scenarios.cache.ArtifactCache`
+across the whole sweep, which is where repeated sweeps win: a warm cache
+serves every mapping and simulation without recomputation.  Parallel
+workers each own a process-local cache (cross-process persistence is a
+ROADMAP follow-on).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Optional, Sequence, Union
+
+from .cache import ArtifactCache, CacheStats
+from .pipeline import ScenarioOutcome, run_scenario
+from .spec import Scenario, ScenarioGrid
+
+#: per-region capacity of the caches the sweep engine creates by default.
+#: Cached simulation results retain their tracer (megabytes for paper-scale
+#: points), so an unbounded cache would grow monotonically over very large
+#: grids; 256 entries keeps realistic sweeps fully warm while bounding
+#: memory.  Pass an explicit ``ArtifactCache(max_entries_per_region=None)``
+#: to lift the cap.
+DEFAULT_CACHE_ENTRIES = 256
+
+
+def default_cache() -> ArtifactCache:
+    return ArtifactCache(max_entries_per_region=DEFAULT_CACHE_ENTRIES)
+
+
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """Record of one scenario that could not be executed.
+
+    Design-space grids legitimately contain infeasible points (a mapping
+    that does not fit the cluster budget, say); with
+    ``SweepRunner(on_error="record")`` those become failure records instead
+    of aborting the sweep.
+    """
+
+    scenario: Scenario
+    error_type: str
+    message: str
+
+    @property
+    def label(self) -> str:
+        """The failing scenario's display label."""
+        return self.scenario.label
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering (JSON-safe) of the failure."""
+        return {
+            "scenario": self.scenario.as_dict(),
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+
+#: module-level so worker processes build one cache per process, shared by
+#: every scenario dispatched to that worker.
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _init_worker(package_root: str) -> None:
+    """Worker initialiser: make ``repro`` importable and set up the cache.
+
+    The parent may have put ``src/`` on ``sys.path`` manually (e.g. via
+    ``PYTHONPATH=src`` in a shell the child does not inherit); mirroring the
+    parent's package root keeps spawned workers importable either way.
+    """
+    global _WORKER_CACHE
+    if package_root not in sys.path:
+        sys.path.insert(0, package_root)
+    _WORKER_CACHE = default_cache()
+
+
+def _execute(scenario: Scenario, cache: Optional[ArtifactCache], record_errors: bool):
+    """Run one scenario, returning an outcome or (optionally) a failure."""
+    if not record_errors:
+        return run_scenario(scenario, cache)
+    try:
+        return run_scenario(scenario, cache)
+    except Exception as error:
+        return ScenarioFailure(
+            scenario=scenario,
+            error_type=type(error).__name__,
+            message=str(error),
+        )
+
+
+def _run_in_worker(task) -> object:
+    """Execute one (scenario, record_errors) task inside a pool worker."""
+    scenario, record_errors = task
+    return _execute(scenario, _WORKER_CACHE, record_errors)
+
+
+@dataclass
+class SweepResult:
+    """Outcomes of one sweep run plus execution bookkeeping."""
+
+    outcomes: List[ScenarioOutcome]
+    elapsed_s: float
+    n_workers: int
+    #: scenarios that raised, when the runner records instead of raising.
+    failures: List[ScenarioFailure] = field(default_factory=list)
+    #: snapshot of the shared cache statistics (serial runs only).
+    cache_stats: Optional[CacheStats] = None
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __getitem__(self, index: int) -> ScenarioOutcome:
+        return self.outcomes[index]
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering (JSON-safe) of the whole sweep."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "n_workers": self.n_workers,
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+            "failures": [failure.as_dict() for failure in self.failures],
+        }
+
+
+@dataclass
+class SweepRunner:
+    """Executes scenario lists/grids, in parallel when it pays off.
+
+    ``max_workers=None`` sizes the pool to the CPU count (capped by the
+    scenario count); ``max_workers<=1`` forces the serial path.  The serial
+    path reuses ``cache`` across scenarios and across successive ``run``
+    calls, so repeated sweeps on one runner are served from warm artifacts.
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default)
+    propagates the first error; ``"record"`` turns failing scenarios into
+    :class:`ScenarioFailure` entries in ``SweepResult.failures`` so that
+    partially-infeasible design-space grids still produce every feasible
+    point.
+    """
+
+    max_workers: Optional[int] = None
+    cache: Optional[ArtifactCache] = field(default_factory=default_cache)
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("raise", "record"):
+            raise ValueError('on_error must be "raise" or "record"')
+
+    def resolve_workers(self, n_scenarios: int) -> int:
+        """Number of worker processes a sweep of ``n_scenarios`` would use."""
+        limit = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+        return max(1, min(limit, n_scenarios))
+
+    # ------------------------------------------------------------------ #
+    def run(self, scenarios: Union[ScenarioGrid, Sequence[Scenario]]) -> SweepResult:
+        """Execute every scenario and return their outcomes, in input order."""
+        if isinstance(scenarios, ScenarioGrid):
+            scenarios = scenarios.expand()
+        scenarios = list(scenarios)
+        if not scenarios:
+            return SweepResult(outcomes=[], elapsed_s=0.0, n_workers=0)
+        start = perf_counter()
+        record_errors = self.on_error == "record"
+        n_workers = self.resolve_workers(len(scenarios))
+        results = None
+        if n_workers > 1:
+            if self.cache is not None and len(self.cache) > 0:
+                warnings.warn(
+                    "parallel sweep workers use process-local caches; the "
+                    "runner's warm cache is not consulted (use max_workers=1 "
+                    "to reuse it)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            results = self._run_parallel(scenarios, n_workers, record_errors)
+        if results is None:
+            n_workers = 1
+            results = [
+                _execute(scenario, self.cache, record_errors)
+                for scenario in scenarios
+            ]
+        outcomes = [r for r in results if isinstance(r, ScenarioOutcome)]
+        failures = [r for r in results if isinstance(r, ScenarioFailure)]
+        return SweepResult(
+            outcomes=outcomes,
+            elapsed_s=perf_counter() - start,
+            n_workers=n_workers,
+            failures=failures,
+            cache_stats=(
+                self.cache.stats.snapshot()
+                if n_workers == 1 and self.cache is not None
+                else None
+            ),
+        )
+
+    def _run_parallel(
+        self, scenarios: List[Scenario], n_workers: int, record_errors: bool
+    ) -> Optional[List[object]]:
+        """Process-pool execution; None means "fall back to serial"."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        tasks = [(scenario, record_errors) for scenario in scenarios]
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_worker,
+                initargs=(package_root,),
+            )
+        except OSError as error:  # no fork/spawn support, /dev/shm missing, ...
+            return self._fallback(error)
+        with pool:
+            try:
+                return list(pool.map(_run_in_worker, tasks))
+            except BrokenProcessPool as error:
+                # workers died before returning (e.g. unimportable repro in
+                # the child): the serial path can still deliver the sweep.
+                return self._fallback(error)
+            # Anything else is a genuine scenario error that escaped a
+            # worker (only possible under on_error="raise"): propagate it
+            # rather than wastefully re-running the sweep serially.
+
+    @staticmethod
+    def _fallback(error: Exception) -> None:
+        """Warn that the pool is unusable; None tells run() to go serial."""
+        warnings.warn(
+            f"parallel sweep unavailable ({type(error).__name__}: {error}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+
+
+def run_sweep(
+    scenarios: Union[ScenarioGrid, Sequence[Scenario]],
+    max_workers: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+    on_error: str = "raise",
+) -> SweepResult:
+    """One-call sweep: expand, execute (possibly in parallel), collect."""
+    runner = SweepRunner(
+        max_workers=max_workers,
+        cache=cache if cache is not None else default_cache(),
+        on_error=on_error,
+    )
+    return runner.run(scenarios)

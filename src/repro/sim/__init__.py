@@ -4,7 +4,7 @@ from .cluster_model import ClusterModel, L1OverflowError
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
 from .ima_model import IMAJob, IMATimingModel
 from .noc import LinkPool, NocModel, TransferRequest
-from .system import SimulationResult, SystemSimulator, simulate
+from .system import SimulationRecord, SimulationResult, SystemSimulator, simulate
 from .tracer import CATEGORIES, ClusterActivity, StageActivity, Tracer
 from .workload import (
     DataFlow,
@@ -34,6 +34,7 @@ __all__ = [
     "NocModel",
     "Server",
     "SimulationError",
+    "SimulationRecord",
     "SimulationResult",
     "StageActivity",
     "StageCost",

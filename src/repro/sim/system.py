@@ -19,6 +19,7 @@ model of Sec. IV.5 on top of the event kernel:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -37,6 +38,43 @@ from .workload import (
 )
 
 
+@dataclass(frozen=True)
+class SimulationRecord:
+    """Lightweight, picklable summary of one simulated run.
+
+    The full :class:`SimulationResult` drags the workload IR and the tracer
+    along — megabytes of per-cluster state that sweep orchestration neither
+    needs nor wants to ship between processes.  This record is the flat
+    result layer the scenario subsystem serialises: plain scalars only, so
+    it crosses process boundaries and lands in JSON reports unchanged.
+    """
+
+    workload_name: str
+    arch_name: str
+    batch_size: int
+    n_jobs: int
+    makespan_cycles: int
+    makespan_ms: float
+    steady_state_cycles_per_job: float
+    completed: bool
+    n_used_clusters: int
+    hbm_bytes: int
+    noc_bytes: int
+    noc_byte_hops: int
+    local_bytes: int
+    n_transfers: int
+    model_contention: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary (JSON-safe) rendering of the declared fields."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationRecord":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**payload)
+
+
 @dataclass
 class SimulationResult:
     """Everything the analysis layer needs from one simulated run."""
@@ -48,6 +86,9 @@ class SimulationResult:
     #: jobs completed per stage (should equal n_jobs everywhere).
     jobs_completed: Dict[int, int] = field(default_factory=dict)
     model_contention: bool = True
+    #: completion cycles of the last two jobs of the final pipeline stage
+    #: (empty when the simulator predates them or the run was truncated).
+    final_stage_completions: Tuple[int, ...] = ()
 
     @property
     def makespan_seconds(self) -> float:
@@ -67,15 +108,40 @@ class SimulationResult:
         )
 
     def steady_state_cycles_per_job(self) -> float:
-        """Observed cycles per job once the pipeline is full (approximation).
+        """Observed cycles per job once the pipeline is full.
 
         The head and tail of the pipeline (filling and draining, visible as
         the latency staircase of Fig. 5D) are excluded by construction:
         dividing the makespan by the job count over-estimates the
         steady-state interval, so we use the difference between the last two
-        job completion times of the final stage when available.
+        job completion times of the final stage when available, and only
+        fall back to ``makespan / n_jobs`` when they are not (single-job
+        workloads, truncated runs, or results built without them).
         """
+        times = self.final_stage_completions
+        if len(times) >= 2 and times[-1] > times[-2]:
+            return float(times[-1] - times[-2])
         return self.makespan_cycles / max(1, self.workload.n_jobs)
+
+    def record(self) -> SimulationRecord:
+        """The lightweight, serialisable summary of this result."""
+        return SimulationRecord(
+            workload_name=self.workload.name,
+            arch_name=self.arch.name,
+            batch_size=self.workload.batch_size,
+            n_jobs=self.workload.n_jobs,
+            makespan_cycles=self.makespan_cycles,
+            makespan_ms=self.makespan_ms,
+            steady_state_cycles_per_job=self.steady_state_cycles_per_job(),
+            completed=self.completed,
+            n_used_clusters=self.workload.n_used_clusters,
+            hbm_bytes=self.tracer.hbm_bytes,
+            noc_bytes=self.tracer.noc_bytes,
+            noc_byte_hops=self.tracer.noc_byte_hops,
+            local_bytes=self.tracer.local_bytes,
+            n_transfers=self.tracer.n_transfers,
+            model_contention=self.model_contention,
+        )
 
 
 class _StageRuntime:
@@ -269,6 +335,8 @@ class SystemSimulator:
         self._stages: Dict[int, _StageRuntime] = {}
         self._finished_stages = 0
         self._last_completion_cycle = 0
+        #: last two job-completion cycles per stage (steady-state metric).
+        self._stage_completions: Dict[int, Tuple[int, ...]] = {}
         # Map (kind, label) of relayed flows (HBM / storage residuals) to the
         # consumer stage and flow index expecting them.
         self._relay_targets: Dict[Tuple[str, str], Tuple[int, int]] = {}
@@ -494,6 +562,8 @@ class SystemSimulator:
     def job_finished(self, stage_id: int, job_index: int) -> None:
         """Called by stage runtimes; tracks overall completion."""
         self._last_completion_cycle = max(self._last_completion_cycle, self.engine.now)
+        previous = self._stage_completions.get(stage_id, ())
+        self._stage_completions[stage_id] = previous[-1:] + (self.engine.now,)
 
     def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
         """Run the workload to completion and return the results."""
@@ -521,6 +591,7 @@ class SystemSimulator:
             )
         makespan = self.tracer.makespan
         self.tracer.makespan = makespan
+        final_stage = self.workload.final_stage()
         return SimulationResult(
             workload=self.workload,
             arch=self.arch,
@@ -528,6 +599,9 @@ class SystemSimulator:
             tracer=self.tracer,
             jobs_completed=jobs_completed,
             model_contention=self.model_contention,
+            final_stage_completions=self._stage_completions.get(
+                final_stage.stage_id, ()
+            ),
         )
 
 

@@ -223,6 +223,23 @@ class Workload:
             raise ValueError("workload has no stages")
         return max(self.stages, key=lambda stage: stage.throughput_limit_cycles())
 
+    def final_stage(self) -> StageDescriptor:
+        """The pipeline's last stage (the one producing the network output).
+
+        A stage is *final* when none of its outputs feed another stage; with
+        several such sinks (rare: multi-head networks) the highest stage id
+        wins, matching the lowering pass's topological numbering.
+        """
+        if not self.stages:
+            raise ValueError("workload has no stages")
+        sinks = [
+            stage
+            for stage in self.stages
+            if not any(flow.kind == ENDPOINT_STAGE for flow in stage.outputs)
+        ]
+        candidates = sinks if sinks else self.stages
+        return max(candidates, key=lambda stage: stage.stage_id)
+
     def validate(self, n_clusters: int) -> None:
         """Check stage references and cluster indices against the system size."""
         ids = {stage.stage_id for stage in self.stages}

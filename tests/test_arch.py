@@ -253,3 +253,42 @@ class TestArchConfig:
     def test_invalid_cluster_count(self):
         with pytest.raises(ValueError):
             ArchConfig(n_clusters=0)
+
+
+class TestScaledValidation:
+    """Validation behaviour of the ``ArchConfig.scaled(...)`` factory."""
+
+    def test_rejects_non_positive_cluster_counts(self):
+        with pytest.raises(ValueError, match="positive"):
+            ArchConfig.scaled(n_clusters=0)
+        with pytest.raises(ValueError, match="positive"):
+            ArchConfig.scaled(n_clusters=-4)
+
+    def test_rejects_invalid_crossbar_size(self):
+        with pytest.raises(ValueError):
+            ArchConfig.scaled(n_clusters=16, crossbar_size=0)
+        with pytest.raises(ValueError):
+            ArchConfig.scaled(n_clusters=16, crossbar_size=-128)
+
+    def test_rejects_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            ArchConfig.scaled(n_clusters=16, cores_per_cluster=0)
+
+    def test_default_factors_cover_any_cluster_count(self):
+        # The wrapper level must stretch to host whatever is requested.
+        for n_clusters in (1, 3, 64, 65, 513, 2048):
+            arch = ArchConfig.scaled(n_clusters=n_clusters)
+            assert arch.n_clusters == n_clusters
+            assert arch.interconnect.max_clusters >= n_clusters
+
+    def test_explicit_factor_capacity_boundary(self):
+        # 1*2*4*4*4 = 128 clusters: exactly at capacity fits, one more raises.
+        factors = [1, 2, 4, 4, 4]
+        arch = ArchConfig.scaled(n_clusters=128, quadrant_factors=factors)
+        assert arch.interconnect.max_clusters == 128
+        with pytest.raises(ValueError, match="host only"):
+            ArchConfig.scaled(n_clusters=129, quadrant_factors=factors)
+
+    def test_scaled_name_defaults_and_overrides(self):
+        assert ArchConfig.scaled(n_clusters=32).name == "scaled-32x256"
+        assert ArchConfig.scaled(n_clusters=32, name="custom").name == "custom"

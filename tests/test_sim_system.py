@@ -232,6 +232,56 @@ class TestSystemSimulator:
         assert result.makespan_ms == pytest.approx(result.makespan_seconds * 1e3)
         assert result.steady_state_cycles_per_job() > 0
 
+    def test_final_stage_selection(self):
+        workload = _linear_workload(n_stages=3)
+        assert workload.final_stage().stage_id == 2
+
+    def test_steady_state_uses_last_two_final_stage_completions(self):
+        arch = ArchConfig.scaled(8)
+        workload = _linear_workload(n_stages=3, n_jobs=16, analog_cycles=500)
+        result = simulate(arch, workload)
+        # The simulator recorded the last two completion cycles of stage 2.
+        assert len(result.final_stage_completions) == 2
+        first, second = result.final_stage_completions
+        assert second > first
+        assert result.steady_state_cycles_per_job() == float(second - first)
+        # Steady state excludes pipeline fill/drain, so it must be tighter
+        # than the naive makespan/n_jobs estimate.
+        assert (
+            result.steady_state_cycles_per_job()
+            < result.makespan_cycles / workload.n_jobs
+        )
+
+    def test_steady_state_falls_back_to_makespan_per_job(self):
+        arch = ArchConfig.scaled(8)
+        # Single-job runs have no completion interval to measure.
+        single = simulate(arch, _linear_workload(n_jobs=1))
+        assert len(single.final_stage_completions) == 1
+        assert single.steady_state_cycles_per_job() == single.makespan_cycles
+        # Results built without completion data (e.g. deserialized or
+        # hand-constructed) fall back too.
+        multi = simulate(arch, _linear_workload(n_jobs=8))
+        from dataclasses import replace
+
+        stripped = replace(multi, final_stage_completions=())
+        assert stripped.steady_state_cycles_per_job() == pytest.approx(
+            multi.makespan_cycles / 8
+        )
+
+    def test_simulation_record_roundtrip(self):
+        arch = ArchConfig.scaled(8)
+        result = simulate(arch, _linear_workload())
+        record = result.record()
+        assert record.makespan_cycles == result.makespan_cycles
+        assert record.completed
+        assert record.n_jobs == result.workload.n_jobs
+        assert record.steady_state_cycles_per_job == (
+            result.steady_state_cycles_per_job()
+        )
+        from repro.sim import SimulationRecord
+
+        assert SimulationRecord.from_dict(record.as_dict()) == record
+
     def test_inconsistent_workload_raises(self):
         arch = ArchConfig.scaled(8)
         # Stage 0 waits for data from stage 1, but stage 1 never produces it.
