@@ -28,10 +28,17 @@ from ..dnn.graph import Graph, Node
 from ..dnn.tensor import TensorShape
 from .allocator import AllocationError, ClusterAllocator
 from .costs import analog_job_cost, digital_job_cycles, reduction_job_cycles
-from .reduction import ReductionPlan
-from .residuals import ResidualPlan
+from .reduction import ReductionLevel, ReductionPlan
+from .residuals import ResidualEdge, ResidualPlan
 from .splits import LayerSplit
 from .tiling import TilingPlan
+
+#: schema version of :meth:`NetworkMapping.to_payload`.  The payload freezes
+#: the *outputs* of the mapping algorithms, while content keys hash only
+#: their *inputs* — so a persisted payload can go stale when either the
+#: payload structure or the algorithms behind it change.  Bump this on any
+#: such change; loaders reject mismatched payloads and rebuild.
+MAPPING_PAYLOAD_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -225,6 +232,73 @@ class NetworkMapping:
         """Mapping of one node."""
         return self.layers[node_id]
 
+    # ------------------------------------------------------------------ #
+    # Compact serialisation (the on-disk artifact store)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """Compact, version-stamped, plain-data serialisation.
+
+        The graph and the architecture are deliberately excluded: the
+        content key addressing this payload is a pure function of both, so
+        every consumer (notably the on-disk
+        :class:`~repro.scenarios.store.ArtifactStore`) necessarily holds
+        them already and :meth:`from_payload` re-attaches them.  What
+        remains — options, tiling, per-layer placements, residual plan and
+        groups — is plain data (dicts, lists, tuples, scalars) with no
+        live object references.
+        """
+        return {
+            "version": MAPPING_PAYLOAD_VERSION,
+            "options": dataclasses.asdict(self.options),
+            "tiling": dataclasses.asdict(self.tiling),
+            "layers": {
+                node_id: dataclasses.asdict(layer)
+                for node_id, layer in self.layers.items()
+            },
+            "residuals": dataclasses.asdict(self.residuals),
+            "groups": dict(self.groups),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, object], graph: Graph, arch: ArchConfig
+    ) -> "NetworkMapping":
+        """Inverse of :meth:`to_payload`, given the graph and architecture.
+
+        Raises :class:`ValueError` on a payload produced under a different
+        :data:`MAPPING_PAYLOAD_VERSION`; callers serving cached payloads
+        treat that as a miss and rebuild.
+        """
+        version = payload.get("version")
+        if version != MAPPING_PAYLOAD_VERSION:
+            raise ValueError(
+                f"mapping payload version {version!r} does not match "
+                f"{MAPPING_PAYLOAD_VERSION} (stale artifact)"
+            )
+        graph.infer_shapes()  # consumers rely on annotated shapes
+        layers = {
+            node_id: _layer_from_payload(fields)
+            for node_id, fields in payload["layers"].items()
+        }
+        residuals = payload["residuals"]
+        return cls(
+            graph=graph,
+            arch=arch,
+            options=MappingOptions(**payload["options"]),
+            tiling=TilingPlan(**payload["tiling"]),
+            layers=layers,
+            residuals=ResidualPlan(
+                mode=residuals["mode"],
+                edges=tuple(
+                    ResidualEdge(**edge) for edge in residuals["edges"]
+                ),
+                storage_clusters=tuple(residuals["storage_clusters"]),
+                assignment=dict(residuals["assignment"]),
+                buffering=residuals["buffering"],
+            ),
+            groups=dict(payload["groups"]),
+        )
+
     def record(self) -> MappingRecord:
         """The lightweight, serialisable summary of this mapping."""
         return MappingRecord(
@@ -262,6 +336,33 @@ class NetworkMapping:
                 f"{layer.n_clusters:>8} {layer.crossbar_cell_utilization():>6.1%}"
             )
         return "\n".join(lines)
+
+
+def _layer_from_payload(fields: Dict[str, object]) -> LayerMapping:
+    """Rebuild one :class:`LayerMapping` from its ``dataclasses.asdict`` form.
+
+    ``asdict`` preserves container types (tuples stay tuples) but flattens
+    nested dataclasses to dicts, so only the class structure needs
+    restoring here.
+    """
+    fields = dict(fields)
+    split = fields.pop("split")
+    reduction = fields.pop("reduction")
+    return LayerMapping(
+        split=None if split is None else LayerSplit(**split),
+        reduction=(
+            None
+            if reduction is None
+            else ReductionPlan(
+                n_partials=reduction["n_partials"],
+                dedicated=reduction["dedicated"],
+                levels=tuple(
+                    ReductionLevel(**level) for level in reduction["levels"]
+                ),
+            )
+        ),
+        **fields,
+    )
 
 
 # --------------------------------------------------------------------------- #

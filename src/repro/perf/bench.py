@@ -7,7 +7,9 @@ Run from the repo root::
     PYTHONPATH=src python -m repro.perf.bench --quick    # smaller, faster inputs
 
 Scenarios (each emits ``<scenario>.<metric>`` keys; ``*_s`` keys are
-wall-clock seconds, lower is better, and are the ones regression-checked):
+wall-clock seconds, lower is better, and are the ones regression-checked;
+``*_io_s`` keys are disk-bound timings gated at the looser
+:data:`IO_REGRESSION_THRESHOLD`):
 
 * ``micro_mvm`` — one tiled MVM through :class:`~repro.aimc.TiledMatrix`
   on both backends;
@@ -21,7 +23,12 @@ wall-clock seconds, lower is better, and are the ones regression-checked):
 * ``scenario_sweep`` — a three-axis design-space sweep through the
   scenario subsystem, cold (empty artifact cache) vs warm (every mapping
   and simulation served from the cache), the macrobenchmark behind the
-  repeated-sweep speedup claim.
+  repeated-sweep speedup claim;
+* ``sweep_persist`` — the same grid against the persistent on-disk
+  artifact store: cold (empty store, every artifact built and spilled)
+  vs warm-from-disk (fresh process-local cache, every mapping and
+  simulation rehydrated from the store), the macrobenchmark behind the
+  cross-invocation/cross-worker reuse claim.
 
 The analog scenarios use a deterministic-read PCM config (programming
 noise and converters on, fixed drift time, read noise off) so the
@@ -34,7 +41,9 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import shutil
 import sys
+import tempfile
 import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
@@ -48,6 +57,7 @@ from ..dnn import models
 from ..dnn.numerics import initialize_parameters, random_input
 from ..scenarios import (
     ArtifactCache,
+    ArtifactStore,
     Scenario,
     ScenarioGrid,
     SweepRunner,
@@ -64,6 +74,14 @@ REGRESSION_THRESHOLD = 0.20
 #: absolute slack (seconds) added on top of the relative threshold so that
 #: scheduler jitter on sub-millisecond timings cannot trip the gate.
 REGRESSION_SLACK_S = 1e-4
+
+#: timings whose keys end in ``_io_s`` are dominated by filesystem latency
+#: (the persistent-store scenarios); on containerised/CI storage their
+#: best-of jitter routinely exceeds the 20% code-regression threshold, so
+#: they are gated at this looser threshold instead — still catching
+#: catastrophic regressions (a payload accidentally dragging the graph
+#: along is a ~10x slowdown) without flaking on storage noise.
+IO_REGRESSION_THRESHOLD = 1.5
 
 #: trajectory files are ``BENCH_PR<n>.json`` at the repo root.
 _RESULT_NAME = re.compile(r"^BENCH_PR(\d+)\.json$")
@@ -108,6 +126,7 @@ class BenchConfig:
         "analog_forward",
         "final_mapping",
         "scenario_sweep",
+        "sweep_persist",
     )
 
     @classmethod
@@ -241,18 +260,7 @@ def bench_scenario_sweep(config: BenchConfig) -> Dict[str, float]:
     served from cached artifacts and only orchestration plus analysis
     execute.  The ratio is the repeated-sweep speedup the cache buys.
     """
-    grid = ScenarioGrid.from_axes(
-        base=Scenario(
-            model=config.sweep_model,
-            input_shape=config.sweep_input,
-            num_classes=config.sweep_classes,
-            level=OptimizationLevel.FINAL.value,
-        ),
-        crossbar_size=config.sweep_crossbars,
-        n_clusters=config.sweep_clusters,
-        batch_size=config.sweep_batches,
-    )
-    scenarios = grid.expand()
+    scenarios = _sweep_grid(config).expand()
     results: Dict[str, float] = {
         "scenario_sweep.cold_s": _time(
             lambda: SweepRunner(max_workers=1, cache=ArtifactCache()).run(scenarios),
@@ -270,11 +278,71 @@ def bench_scenario_sweep(config: BenchConfig) -> Dict[str, float]:
     return results
 
 
+def _sweep_grid(config: BenchConfig) -> ScenarioGrid:
+    """The three-axis grid shared by the cache and store macrobenchmarks."""
+    return ScenarioGrid.from_axes(
+        base=Scenario(
+            model=config.sweep_model,
+            input_shape=config.sweep_input,
+            num_classes=config.sweep_classes,
+            level=OptimizationLevel.FINAL.value,
+        ),
+        crossbar_size=config.sweep_crossbars,
+        n_clusters=config.sweep_clusters,
+        batch_size=config.sweep_batches,
+    )
+
+
+def bench_sweep_persist(config: BenchConfig) -> Dict[str, float]:
+    """The scenario sweep against the persistent on-disk artifact store.
+
+    ``cold_s`` runs the grid with a fresh in-memory cache against a fresh,
+    empty store — every artifact is built *and spilled to disk*, so the
+    cold timing includes the persistence overhead the store adds to a
+    first run.  ``warm_disk_s`` re-runs the grid with a fresh in-memory
+    cache against the populated store, the situation of a new CLI
+    invocation or a parallel sweep worker: every mapping and simulation is
+    rehydrated from disk, nothing is rebuilt.
+    """
+    scenarios = _sweep_grid(config).expand()
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    results: Dict[str, float] = {}
+    try:
+
+        def cold_run() -> None:
+            cold_root = tempfile.mkdtemp(dir=root)
+            SweepRunner(
+                max_workers=1,
+                cache=ArtifactCache(store=ArtifactStore(cold_root)),
+            ).run(scenarios)
+
+        results["sweep_persist.cold_io_s"] = _time(cold_run, config.repeats)
+
+        warm_store = ArtifactStore(Path(root) / "warm")
+        SweepRunner(
+            max_workers=1, cache=ArtifactCache(store=warm_store)
+        ).run(scenarios)  # populate the store once
+
+        def warm_run() -> None:
+            SweepRunner(
+                max_workers=1, cache=ArtifactCache(store=warm_store)
+            ).run(scenarios)
+
+        results["sweep_persist.warm_disk_io_s"] = _time(warm_run, config.repeats)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    results["sweep_persist.disk_speedup"] = (
+        results["sweep_persist.cold_io_s"] / results["sweep_persist.warm_disk_io_s"]
+    )
+    return results
+
+
 SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "micro_mvm": bench_micro_mvm,
     "analog_forward": bench_analog_forward,
     "final_mapping": bench_final_mapping,
     "scenario_sweep": bench_scenario_sweep,
+    "sweep_persist": bench_sweep_persist,
 }
 
 
@@ -323,14 +391,17 @@ def compare_results(
 
     Only ``*_s`` keys (wall-clock seconds, lower is better) are compared;
     derived metrics like speedups are informational.  ``slack_s`` absorbs
-    absolute jitter on very small timings.
+    absolute jitter on very small timings, and ``*_io_s`` keys (disk-bound
+    scenarios) are gated at :data:`IO_REGRESSION_THRESHOLD` instead of
+    ``threshold``.
     """
     regressions: List[str] = []
     for key in sorted(set(old) & set(new)):
         if not key.endswith("_s"):
             continue
+        limit = IO_REGRESSION_THRESHOLD if key.endswith("_io_s") else threshold
         before, after = float(old[key]), float(new[key])
-        if before > 0 and after > before * (1.0 + threshold) + slack_s:
+        if before > 0 and after > before * (1.0 + limit) + slack_s:
             regressions.append(
                 f"{key}: {after * 1e3:.1f} ms vs {before * 1e3:.1f} ms "
                 f"(+{(after / before - 1.0) * 100.0:.0f}%)"

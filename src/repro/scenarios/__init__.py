@@ -10,6 +10,9 @@ This subsystem turns the repo's end-to-end flow into reusable machinery:
 * :mod:`repro.scenarios.cache` — the content-hash-keyed
   :class:`ArtifactCache` serving mappings, workloads and simulation
   results across repeated experiments;
+* :mod:`repro.scenarios.store` — the persistent on-disk
+  :class:`ArtifactStore` tier behind the cache, shared by parallel sweep
+  workers and successive invocations;
 * :mod:`repro.scenarios.pipeline` — the flow as explicit stages
   (graph → mapping → workload → simulation → metrics), each cacheable,
   plus :func:`run_scenario`;
@@ -30,10 +33,12 @@ from .pipeline import (
     workload_stage,
 )
 from .spec import Scenario, ScenarioGrid, SpecError, load_spec, parse_spec
+from .store import ArtifactStore
 from .sweep import ScenarioFailure, SweepResult, SweepRunner, run_sweep
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactStore",
     "CacheStats",
     "Scenario",
     "ScenarioFailure",

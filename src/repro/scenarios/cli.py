@@ -4,12 +4,18 @@ Usage, from the repo root::
 
     PYTHONPATH=src python -m repro.scenarios spec.toml
     PYTHONPATH=src python -m repro.scenarios spec.json --workers 4 --json out.json
+    PYTHONPATH=src python -m repro.scenarios spec.toml --cache-dir /tmp/store
 
 The spec file (TOML or JSON, see :func:`repro.scenarios.spec.load_spec`)
 declares a base scenario and optional sweep axes; the CLI expands the grid,
 executes it through the :class:`~repro.scenarios.sweep.SweepRunner`, prints
 a results table and optionally writes the full record-layer results as
 JSON.
+
+By default the artifact cache is backed by the persistent on-disk store
+(``--cache-dir``, ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a second
+invocation of an identical spec — and every parallel worker of a
+``--workers`` run — is served from warm artifacts instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .spec import load_spec
+from .store import ArtifactStore
 from .sweep import SweepResult, SweepRunner, default_cache
 
 
@@ -65,6 +72,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache", action="store_true", help="disable the artifact cache"
     )
     parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="root of the persistent on-disk artifact store shared across "
+        "workers and invocations (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro); --no-store keeps the cache in memory only",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="keep the artifact cache in memory only (no on-disk store)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the expanded scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -84,9 +104,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {scenario.label}")
         return 0
 
+    cache = None
+    if not args.no_cache:
+        store = None if args.no_store else ArtifactStore(args.cache_dir)
+        cache = default_cache(store=store)
+        if store is not None:
+            print(f"artifact store: {store.root}")
     runner = SweepRunner(
         max_workers=None if args.workers == 0 else args.workers,
-        cache=None if args.no_cache else default_cache(),
+        cache=cache,
         on_error="record",  # infeasible grid points must not kill the sweep
     )
     result = runner.run(scenarios)

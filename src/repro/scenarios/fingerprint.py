@@ -33,6 +33,15 @@ class FingerprintError(TypeError):
     """Raised when an object has no canonical (content-stable) rendering."""
 
 
+#: version of the canonicalisation rules.  Persisted artifact keys (the
+#: on-disk :class:`~repro.scenarios.store.ArtifactStore`) namespace their
+#: entries by this number: any change to :func:`canonicalize` — new type
+#: tags, different float rendering — produces keys that must never be
+#: looked up against entries written under the old rules.  Bump it on every
+#: behavioural change to this module.
+CANONICAL_VERSION = 2
+
+
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-serialisable structure with a stable order.
 
@@ -55,8 +64,12 @@ def canonicalize(obj: Any) -> Any:
             for f in dataclasses.fields(obj)
         }
         return {"__dataclass__": type(obj).__name__, "fields": fields}
-    if isinstance(obj, (list, tuple)):
+    if isinstance(obj, list):
         return [canonicalize(item) for item in obj]
+    if isinstance(obj, tuple):
+        # Tagged distinctly from lists: (1, 2) and [1, 2] are different
+        # values and the injectivity contract forbids their collision.
+        return {"__tuple__": [canonicalize(item) for item in obj]}
     if isinstance(obj, (set, frozenset)):
         items = sorted(json.dumps(canonicalize(i), sort_keys=True) for i in obj)
         return {"__set__": items}
@@ -143,15 +156,36 @@ def graph_key(graph: Graph) -> str:
     return content_digest(graph)
 
 
+#: attribute used to memoize the name-stripped digest on arch objects.
+_ARCH_KEY_ATTR = "_repro_arch_key_digest"
+
+
 def arch_key(arch: Any) -> str:
     """Content key of an architecture configuration.
 
     The cosmetic ``name`` field is excluded: ``ArchConfig.paper()`` and
     ``ArchConfig.scaled(512, 256, 16)`` describe the same hardware and must
     share cached artifacts regardless of their display labels.
+
+    The name-stripped digest is memoized on the original object (frozen
+    dataclasses only, so the memo cannot go stale): every pipeline stage
+    keys on the architecture, and re-canonicalising the full config — let
+    alone rebuilding a name-stripped copy — on every stage call would
+    dominate the warm cache path.
     """
     if dataclasses.is_dataclass(arch) and hasattr(arch, "name"):
-        arch = dataclasses.replace(arch, name="")
+        frozen = type(arch).__dataclass_params__.frozen
+        if frozen:
+            memo = getattr(arch, _ARCH_KEY_ATTR, None)
+            if memo is not None:
+                return memo
+        digest = fingerprint(dataclasses.replace(arch, name=""))
+        if frozen:
+            try:
+                object.__setattr__(arch, _ARCH_KEY_ATTR, digest)
+            except (AttributeError, TypeError):
+                pass
+        return digest
     return fingerprint(arch)
 
 

@@ -160,7 +160,14 @@ def mapping_stage(
         reserve_clusters,
         max_replication,
     )
-    return cache.get_or_create(ArtifactCache.REGION_MAPPING, key, build)
+    return cache.get_or_create(
+        ArtifactCache.REGION_MAPPING,
+        key,
+        build,
+        persist=True,
+        dump=lambda mapping: mapping.to_payload(),
+        load=lambda payload: NetworkMapping.from_payload(payload, graph, arch),
+    )
 
 
 def _mapping_content_key(mapping: NetworkMapping) -> str:
@@ -189,10 +196,12 @@ def workload_stage(
     if cache is None:
         return lower_to_workload(mapping, zero_communication=zero_communication)
     key = workload_key(_mapping_content_key(mapping), zero_communication)
+    # the workload IR is already plain data, so it is its own store payload
     return cache.get_or_create(
         ArtifactCache.REGION_WORKLOAD,
         key,
         lambda: lower_to_workload(mapping, zero_communication=zero_communication),
+        persist=True,
     )
 
 
@@ -225,6 +234,9 @@ def simulation_stage(
         lambda: simulate(
             arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
         ),
+        persist=True,
+        dump=lambda result: result.to_payload(),
+        load=lambda payload: SimulationResult.from_payload(payload, arch, workload),
     )
 
 
@@ -245,6 +257,11 @@ class ScenarioOutcome:
     simulation: SimulationRecord
     mapping: MappingRecord
     elapsed_s: float
+    #: position of the scenario in the sweep's input list (-1 when the
+    #: outcome was produced outside a sweep).  With ``on_error="record"``
+    #: failures are reported separately, so this is the only way to realign
+    #: outcomes with the scenarios a caller submitted.
+    index: int = -1
 
     @property
     def label(self) -> str:
@@ -259,6 +276,7 @@ class ScenarioOutcome:
             "simulation": self.simulation.as_dict(),
             "mapping": self.mapping.as_dict(),
             "elapsed_s": self.elapsed_s,
+            "index": self.index,
         }
 
 

@@ -44,9 +44,22 @@ class SpecError(ValueError):
     """Raised on invalid scenario specifications."""
 
 
+#: the paper's Table I system, the single source of the architecture
+#: defaults below — deriving them here (rather than repeating literals)
+#: guarantees a Table I change can never desynchronise scenario labels
+#: from the architectures scenarios actually build.
+_PAPER_ARCH = ArchConfig.paper()
+
+#: cluster count a ``n_clusters=None`` scenario resolves to.
+PAPER_N_CLUSTERS = _PAPER_ARCH.n_clusters
+
 #: fields of :class:`ArchConfig.scaled` that scenarios may set.  When every
 #: one keeps its default the scenario targets the paper's Table I system.
-_PAPER_DEFAULTS = {"n_clusters": None, "crossbar_size": 256, "cores_per_cluster": 16}
+_PAPER_DEFAULTS = {
+    "n_clusters": None,
+    "crossbar_size": _PAPER_ARCH.ima.rows,
+    "cores_per_cluster": _PAPER_ARCH.cores.n_cores,
+}
 
 
 @dataclass(frozen=True)
@@ -67,8 +80,8 @@ class Scenario:
     level: str = OptimizationLevel.FINAL.value
     # -- architecture axes (ArchConfig.scaled) -------------------------- #
     n_clusters: Optional[int] = None
-    crossbar_size: int = 256
-    cores_per_cluster: int = 16
+    crossbar_size: int = _PAPER_DEFAULTS["crossbar_size"]
+    cores_per_cluster: int = _PAPER_DEFAULTS["cores_per_cluster"]
     # -- mapping-optimizer knobs ---------------------------------------- #
     reserve_clusters: int = 4
     max_replication: int = 64
@@ -124,12 +137,17 @@ class Scenario:
             kwargs["num_classes"] = self.num_classes
         return builder(**kwargs)
 
+    @property
+    def resolved_n_clusters(self) -> int:
+        """The cluster count this scenario builds (``None`` -> the paper's)."""
+        return self.n_clusters if self.n_clusters is not None else PAPER_N_CLUSTERS
+
     def build_arch(self) -> ArchConfig:
         """Instantiate the architecture design point this scenario targets."""
         if self.targets_paper_arch:
             return ArchConfig.paper()
         return ArchConfig.scaled(
-            n_clusters=self.n_clusters if self.n_clusters is not None else 512,
+            n_clusters=self.resolved_n_clusters,
             crossbar_size=self.crossbar_size,
             cores_per_cluster=self.cores_per_cluster,
         )
@@ -140,10 +158,9 @@ class Scenario:
         """Short human-readable identifier used in tables and logs."""
         if self.name:
             return self.name
-        clusters = self.n_clusters if self.n_clusters is not None else 512
         return (
             f"{self.model}/{self.level}"
-            f"/x{self.crossbar_size}/c{clusters}/b{self.batch_size}"
+            f"/x{self.crossbar_size}/c{self.resolved_n_clusters}/b{self.batch_size}"
         )
 
     def replace(self, **changes: object) -> "Scenario":

@@ -12,23 +12,28 @@ support) or explicitly disabled.
 Serial execution shares one :class:`~repro.scenarios.cache.ArtifactCache`
 across the whole sweep, which is where repeated sweeps win: a warm cache
 serves every mapping and simulation without recomputation.  Parallel
-workers each own a process-local cache (cross-process persistence is a
-ROADMAP follow-on).
+workers each own a process-local in-memory cache, but when the runner's
+cache is backed by a persistent :class:`~repro.scenarios.store.
+ArtifactStore`, every worker attaches to the same store — so artifacts
+computed by one worker (or a previous invocation) are served from disk to
+all the others.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .cache import ArtifactCache, CacheStats
 from .pipeline import ScenarioOutcome, run_scenario
 from .spec import Scenario, ScenarioGrid
+from .store import ArtifactStore
 
 #: per-region capacity of the caches the sweep engine creates by default.
 #: Cached simulation results retain their tracer (megabytes for paper-scale
@@ -39,8 +44,8 @@ from .spec import Scenario, ScenarioGrid
 DEFAULT_CACHE_ENTRIES = 256
 
 
-def default_cache() -> ArtifactCache:
-    return ArtifactCache(max_entries_per_region=DEFAULT_CACHE_ENTRIES)
+def default_cache(store: Optional[ArtifactStore] = None) -> ArtifactCache:
+    return ArtifactCache(max_entries_per_region=DEFAULT_CACHE_ENTRIES, store=store)
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,10 @@ class ScenarioFailure:
     scenario: Scenario
     error_type: str
     message: str
+    #: position of the scenario in the sweep's input list (-1 when unknown),
+    #: mirroring :attr:`ScenarioOutcome.index` so callers can realign the
+    #: separated outcome/failure lists with their input.
+    index: int = -1
 
     @property
     def label(self) -> str:
@@ -68,6 +77,7 @@ class ScenarioFailure:
             "scenario": self.scenario.as_dict(),
             "error_type": self.error_type,
             "message": self.message,
+            "index": self.index,
         }
 
 
@@ -76,37 +86,64 @@ class ScenarioFailure:
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
 
-def _init_worker(package_root: str) -> None:
+def _init_worker(
+    package_root: str, store_root: Optional[str], enable_cache: bool
+) -> None:
     """Worker initialiser: make ``repro`` importable and set up the cache.
 
     The parent may have put ``src/`` on ``sys.path`` manually (e.g. via
     ``PYTHONPATH=src`` in a shell the child does not inherit); mirroring the
     parent's package root keeps spawned workers importable either way.
+
+    ``enable_cache`` mirrors whether the parent runner holds a cache at
+    all (a ``cache=None`` runner must stay uncached in its workers too),
+    and ``store_root`` mirrors that cache's persistent store: every
+    worker's process-local cache attaches to the same on-disk tier, so the
+    workers share warm artifacts with each other and with previous runs.
     """
     global _WORKER_CACHE
     if package_root not in sys.path:
         sys.path.insert(0, package_root)
-    _WORKER_CACHE = default_cache()
+    if enable_cache:
+        store = ArtifactStore(store_root) if store_root is not None else None
+        _WORKER_CACHE = default_cache(store=store)
+    else:
+        _WORKER_CACHE = None
 
 
-def _execute(scenario: Scenario, cache: Optional[ArtifactCache], record_errors: bool):
+def _execute(
+    scenario: Scenario,
+    cache: Optional[ArtifactCache],
+    record_errors: bool,
+    index: int,
+):
     """Run one scenario, returning an outcome or (optionally) a failure."""
-    if not record_errors:
-        return run_scenario(scenario, cache)
     try:
-        return run_scenario(scenario, cache)
+        outcome = run_scenario(scenario, cache)
     except Exception as error:
+        if not record_errors:
+            raise
         return ScenarioFailure(
             scenario=scenario,
             error_type=type(error).__name__,
             message=str(error),
+            index=index,
         )
+    return dataclasses.replace(outcome, index=index)
 
 
-def _run_in_worker(task) -> object:
-    """Execute one (scenario, record_errors) task inside a pool worker."""
-    scenario, record_errors = task
-    return _execute(scenario, _WORKER_CACHE, record_errors)
+def _run_in_worker(task) -> Tuple[object, Optional[CacheStats]]:
+    """Execute one (index, scenario, record_errors) task inside a pool worker.
+
+    Returns the outcome/failure together with the cache-counter delta this
+    task produced, so the parent can aggregate cross-worker statistics.
+    """
+    index, scenario, record_errors = task
+    cache = _WORKER_CACHE
+    before = cache.stats.snapshot() if cache is not None else None
+    result = _execute(scenario, cache, record_errors, index)
+    delta = cache.stats.snapshot().subtract(before) if cache is not None else None
+    return result, delta
 
 
 @dataclass
@@ -118,7 +155,9 @@ class SweepResult:
     n_workers: int
     #: scenarios that raised, when the runner records instead of raising.
     failures: List[ScenarioFailure] = field(default_factory=list)
-    #: snapshot of the shared cache statistics (serial runs only).
+    #: cumulative snapshot of the shared cache's statistics on serial runs;
+    #: on parallel runs, the aggregated per-task deltas of every worker's
+    #: process-local cache.  None only when caching was disabled.
     cache_stats: Optional[CacheStats] = None
 
     def __iter__(self):
@@ -137,6 +176,9 @@ class SweepResult:
             "n_workers": self.n_workers,
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
             "failures": [failure.as_dict() for failure in self.failures],
+            "cache_stats": (
+                self.cache_stats.as_dict() if self.cache_stats is not None else None
+            ),
         }
 
 
@@ -171,7 +213,14 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def run(self, scenarios: Union[ScenarioGrid, Sequence[Scenario]]) -> SweepResult:
-        """Execute every scenario and return their outcomes, in input order."""
+        """Execute every scenario and return their outcomes, in input order.
+
+        Every outcome and failure carries the ``index`` of its scenario in
+        the input list: with ``on_error="record"`` the failures are
+        reported in a separate list, so zipping ``outcomes`` against the
+        submitted scenarios would silently misalign on the first
+        infeasible point — realign through ``index`` instead.
+        """
         if isinstance(scenarios, ScenarioGrid):
             scenarios = scenarios.expand()
         scenarios = list(scenarios)
@@ -181,22 +230,34 @@ class SweepRunner:
         record_errors = self.on_error == "record"
         n_workers = self.resolve_workers(len(scenarios))
         results = None
+        cache_stats: Optional[CacheStats] = None
         if n_workers > 1:
-            if self.cache is not None and len(self.cache) > 0:
+            has_store = self.cache is not None and self.cache.store is not None
+            if self.cache is not None and len(self.cache) > 0 and not has_store:
                 warnings.warn(
                     "parallel sweep workers use process-local caches; the "
-                    "runner's warm cache is not consulted (use max_workers=1 "
-                    "to reuse it)",
+                    "runner's warm in-memory cache is not consulted (use "
+                    "max_workers=1 to reuse it, or back the cache with an "
+                    "ArtifactStore to share artifacts through disk)",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            results = self._run_parallel(scenarios, n_workers, record_errors)
+            parallel = self._run_parallel(scenarios, n_workers, record_errors)
+            if parallel is not None:
+                results = [result for result, _ in parallel]
+                if self.cache is not None:
+                    cache_stats = CacheStats()
+                    for _, delta in parallel:
+                        if delta is not None:
+                            cache_stats.merge(delta)
         if results is None:
             n_workers = 1
             results = [
-                _execute(scenario, self.cache, record_errors)
-                for scenario in scenarios
+                _execute(scenario, self.cache, record_errors, index)
+                for index, scenario in enumerate(scenarios)
             ]
+            if self.cache is not None:
+                cache_stats = self.cache.stats.snapshot()
         outcomes = [r for r in results if isinstance(r, ScenarioOutcome)]
         failures = [r for r in results if isinstance(r, ScenarioFailure)]
         return SweepResult(
@@ -204,28 +265,29 @@ class SweepRunner:
             elapsed_s=perf_counter() - start,
             n_workers=n_workers,
             failures=failures,
-            cache_stats=(
-                self.cache.stats.snapshot()
-                if n_workers == 1 and self.cache is not None
-                else None
-            ),
+            cache_stats=cache_stats,
         )
 
     def _run_parallel(
         self, scenarios: List[Scenario], n_workers: int, record_errors: bool
-    ) -> Optional[List[object]]:
+    ) -> Optional[List[Tuple[object, Optional[CacheStats]]]]:
         """Process-pool execution; None means "fall back to serial"."""
         from concurrent.futures.process import BrokenProcessPool
 
         import repro
 
         package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-        tasks = [(scenario, record_errors) for scenario in scenarios]
+        store = self.cache.store if self.cache is not None else None
+        store_root = str(store.root) if store is not None else None
+        tasks = [
+            (index, scenario, record_errors)
+            for index, scenario in enumerate(scenarios)
+        ]
         try:
             pool = ProcessPoolExecutor(
                 max_workers=n_workers,
                 initializer=_init_worker,
-                initargs=(package_root,),
+                initargs=(package_root, store_root, self.cache is not None),
             )
         except OSError as error:  # no fork/spawn support, /dev/shm missing, ...
             return self._fallback(error)
@@ -257,11 +319,17 @@ def run_sweep(
     max_workers: Optional[int] = None,
     cache: Optional[ArtifactCache] = None,
     on_error: str = "raise",
+    store: Optional[ArtifactStore] = None,
 ) -> SweepResult:
-    """One-call sweep: expand, execute (possibly in parallel), collect."""
+    """One-call sweep: expand, execute (possibly in parallel), collect.
+
+    ``store`` backs the default cache with a persistent on-disk tier
+    (ignored when an explicit ``cache`` is supplied — configure the store
+    on that cache instead).
+    """
     runner = SweepRunner(
         max_workers=max_workers,
-        cache=cache if cache is not None else default_cache(),
+        cache=cache if cache is not None else default_cache(store=store),
         on_error=on_error,
     )
     return runner.run(scenarios)

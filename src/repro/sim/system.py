@@ -38,6 +38,12 @@ from .workload import (
 )
 
 
+#: schema version of :meth:`SimulationResult.to_payload`.  Bump on any
+#: change to the payload structure or to the simulator semantics the
+#: payload freezes; loaders reject mismatched payloads and re-simulate.
+SIMULATION_PAYLOAD_VERSION = 1
+
+
 @dataclass(frozen=True)
 class SimulationRecord:
     """Lightweight, picklable summary of one simulated run.
@@ -122,6 +128,54 @@ class SimulationResult:
         if len(times) >= 2 and times[-1] > times[-2]:
             return float(times[-1] - times[-2])
         return self.makespan_cycles / max(1, self.workload.n_jobs)
+
+    # ------------------------------------------------------------------ #
+    # Compact serialisation (the on-disk artifact store)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """Version-stamped serialisation without the workload and arch.
+
+        The content key addressing a simulation result hashes the
+        architecture and the workload IR, so a loader necessarily holds
+        both and :meth:`from_payload` re-attaches them.  The tracer — the
+        per-cluster/per-stage activity the breakdown analyses mine — ships
+        whole: it is plain counters, and dropping it would make a
+        disk-served result a second-class citizen.
+        """
+        return {
+            "version": SIMULATION_PAYLOAD_VERSION,
+            "makespan_cycles": self.makespan_cycles,
+            "tracer": self.tracer,
+            "jobs_completed": dict(self.jobs_completed),
+            "model_contention": self.model_contention,
+            "final_stage_completions": tuple(self.final_stage_completions),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, object], arch: ArchConfig, workload: Workload
+    ) -> "SimulationResult":
+        """Inverse of :meth:`to_payload`, given the architecture and workload.
+
+        Raises :class:`ValueError` on a payload produced under a different
+        :data:`SIMULATION_PAYLOAD_VERSION`; callers serving cached payloads
+        treat that as a miss and re-simulate.
+        """
+        version = payload.get("version")
+        if version != SIMULATION_PAYLOAD_VERSION:
+            raise ValueError(
+                f"simulation payload version {version!r} does not match "
+                f"{SIMULATION_PAYLOAD_VERSION} (stale artifact)"
+            )
+        return cls(
+            workload=workload,
+            arch=arch,
+            makespan_cycles=payload["makespan_cycles"],
+            tracer=payload["tracer"],
+            jobs_completed=dict(payload["jobs_completed"]),
+            model_contention=payload["model_contention"],
+            final_stage_completions=tuple(payload["final_stage_completions"]),
+        )
 
     def record(self) -> SimulationRecord:
         """The lightweight, serialisable summary of this result."""

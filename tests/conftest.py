@@ -6,12 +6,33 @@ the full mapping study) are session-scoped so the suite stays fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.arch import ArchConfig
 from repro.core import MappingOptimizer, OptimizationLevel, lower_to_workload
 from repro.dnn import models
 from repro.sim import simulate
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_store(tmp_path_factory):
+    """Point the default on-disk artifact store at a session tempdir.
+
+    The scenarios CLI persists artifacts under ``$REPRO_CACHE_DIR`` (or
+    ``~/.cache/repro``) by default; tests must neither pollute nor be
+    warmed by the developer's real store.  Forked sweep workers inherit
+    the environment, so the isolation covers parallel runs too.
+    """
+    root = tmp_path_factory.mktemp("artifact-store")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

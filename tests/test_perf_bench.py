@@ -69,6 +69,19 @@ class TestComparison:
         # 0.05 ms -> 0.10 ms is +100% but far below the slack scale
         assert compare_results({"a.x_s": 5e-5}, {"a.x_s": 1e-4}) == []
 
+    def test_io_keys_gated_at_looser_threshold(self):
+        from repro.perf.bench import IO_REGRESSION_THRESHOLD
+
+        # within the IO threshold: storage jitter, not a regression
+        tolerated = 1.0 * (1.0 + IO_REGRESSION_THRESHOLD) - 0.05
+        assert compare_results({"a.x_io_s": 1.0}, {"a.x_io_s": tolerated}) == []
+        # a catastrophic disk-path regression still trips the gate
+        flagged = 1.0 * (1.0 + IO_REGRESSION_THRESHOLD) + 0.1
+        messages = compare_results({"a.x_io_s": 1.0}, {"a.x_io_s": flagged})
+        assert len(messages) == 1 and "a.x_io_s" in messages[0]
+        # the same slowdown on a CPU-bound key is flagged as before
+        assert compare_results({"a.x_s": 1.0}, {"a.x_s": tolerated})
+
     def test_configs_comparable_ignoring_repeats_and_scenarios(self):
         import json
 

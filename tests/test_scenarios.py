@@ -229,10 +229,54 @@ class TestFingerprints:
         assert fingerprint(graph) == before
 
     def test_canonicalize_distinguishes_containers_and_keys(self):
-        assert canonicalize((1, 2)) == canonicalize([1, 2])
+        # regression: tuples and lists used to render identically, so
+        # (1, 2) and [1, 2] collided — violating the injectivity contract
+        # the cache's correctness (and every persisted key) rests on.
+        assert canonicalize((1, 2)) != canonicalize([1, 2])
+        assert fingerprint((1, 2)) != fingerprint([1, 2])
+        assert fingerprint(((1,), 2)) != fingerprint(([1], 2))
+        assert fingerprint({"k": (1, 2)}) != fingerprint({"k": [1, 2]})
+        assert fingerprint({(1, 2), 3}) != fingerprint({(1,), (2, 3)})
+        assert fingerprint(()) != fingerprint([])
         assert fingerprint({1: "a"}) != fingerprint({"1": "a"})
         assert fingerprint({"x": 1, "y": 2}) == fingerprint({"y": 2, "x": 1})
         assert fingerprint(1.0) != fingerprint(1)
+
+    def test_tuple_and_list_contents_still_compare_equal(self):
+        # same element sequence, same container kind: order-sensitive match
+        assert fingerprint([1, 2]) == fingerprint([1, 2])
+        assert fingerprint((1, 2)) == fingerprint((1, 2))
+        assert fingerprint((1, 2)) != fingerprint((2, 1))
+
+    def test_arch_key_memoizes_on_the_original_object(self):
+        """arch_key must not re-canonicalise the config on every call.
+
+        It used to build a name-stripped copy with dataclasses.replace on
+        each invocation, defeating memoization: every stage key paid a full
+        ArchConfig canonicalisation.  The digest is now memoized on the
+        (frozen) original.
+        """
+        import importlib
+
+        # the package re-exports the fingerprint *function*, shadowing the
+        # submodule attribute; resolve the module itself for patching.
+        fp_module = importlib.import_module("repro.scenarios.fingerprint")
+
+        arch = ArchConfig.scaled(16)
+        calls = []
+        real_fingerprint = fp_module.fingerprint
+        try:
+            def counting(obj):
+                calls.append(1)
+                return real_fingerprint(obj)
+
+            fp_module.fingerprint = counting
+            first = fp_module.arch_key(arch)
+            second = fp_module.arch_key(arch)
+        finally:
+            fp_module.fingerprint = real_fingerprint
+        assert first == second == fp_module.arch_key(ArchConfig.scaled(16))
+        assert len(calls) == 1  # the second call was served from the memo
 
     def test_unsupported_objects_rejected(self):
         with pytest.raises(TypeError, match="cannot fingerprint"):
