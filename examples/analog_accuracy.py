@@ -3,57 +3,85 @@
 
 The performance experiments of the paper assume the analog MVMs are
 numerically good enough (analog-aware training is cited as the standard
-remedy).  This example uses the functional crossbar model to quantify the
-numerical gap on a small network: it runs the same graph through
+remedy).  This example quantifies the numerical gap through the scenario
+subsystem's **accuracy axis**: each point is a declarative
+:class:`~repro.scenarios.Scenario` whose ``execution`` block selects a
+functional backend and a noise configuration, and the
+:class:`~repro.scenarios.SweepRunner` executes the grid with the same
+content-hashed caching — backed by the same persistent on-disk artifact
+store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) — as every performance
+sweep, so re-running this script rebuilds nothing: every accuracy record
+is rehydrated from disk.
 
-* the floating-point digital reference,
-* an ideal (noise-free, quantisation-free) crossbar model,
-* a typical PCM crossbar (programming/read noise, 8-bit converters),
-* a pessimistic crossbar (stronger noise, 6-bit converters, drift),
+The grid covers
 
-and reports the output RMS error of each against the reference.
+* the digital floating-point reference (``backend="digital"``, the
+  zero-error control),
+* an ideal (noise-free, quantisation-free) crossbar on both analog
+  backends — they agree with the reference to float rounding,
+* the typical PCM preset (programming/read noise, 8-bit converters),
+* the pessimistic preset (stronger noise, 6-bit converters, drift),
+* typical noise read one hour after programming (the ``"drift"`` preset),
+* typical noise with the ADC squeezed to 4 bits (inline converter axis).
 
 Run with::
 
-    python examples/analog_accuracy.py
+    PYTHONPATH=src python examples/analog_accuracy.py
+
+The same experiment as a spec file — plus the performance metrics of every
+point — is ``examples/accuracy_sweep.toml``.
 """
 
-import numpy as np
-
-from repro.aimc import AnalogExecutor, NoiseModel
-from repro.dnn import ReferenceExecutor, initialize_parameters, models, random_input
+from repro.scenarios import (
+    ArtifactCache,
+    ArtifactStore,
+    ExecutionSpec,
+    Scenario,
+    SweepRunner,
+)
 
 
 def main() -> None:
-    network = models.tiny_cnn(input_shape=(3, 32, 32), num_classes=10, width=16)
-    parameters = initialize_parameters(network, seed=7)
-    image = random_input(network, seed=11)
+    base = Scenario(
+        model="tiny_cnn",
+        input_shape=(3, 32, 32),
+        num_classes=10,
+        n_clusters=16,
+        batch_size=2,
+        level="final",
+        execution=ExecutionSpec(backend="vectorized", n_inputs=4),
+    )
+    points = [
+        base.replace(execution={"backend": "digital", "n_inputs": 4}),
+        base.replace(execution={"backend": "vectorized", "noise": "ideal", "n_inputs": 4}),
+        base.replace(execution={"backend": "reference", "noise": "ideal", "n_inputs": 4}),
+        base.replace(execution={"backend": "vectorized", "noise": "typical", "n_inputs": 4}),
+        base.replace(execution={"backend": "vectorized", "noise": "pessimistic", "n_inputs": 4}),
+        base.replace(execution={"backend": "vectorized", "noise": "drift", "n_inputs": 4}),
+        base.replace(
+            execution={"backend": "vectorized", "noise": "typical", "adc_bits": 4, "n_inputs": 4}
+        ),
+    ]
 
-    reference = ReferenceExecutor(network, parameters=parameters)
-    golden = reference.run_output(image)
-    print(f"network: {network.name}, output shape {golden.shape}")
-    print(f"reference output range: [{golden.min():.3f}, {golden.max():.3f}]")
-    print()
-
-    scenarios = {
-        "ideal crossbar": NoiseModel.ideal(),
-        "typical PCM": NoiseModel.typical(),
-        "pessimistic PCM": NoiseModel.pessimistic(),
-        "typical PCM + 1h drift": NoiseModel.typical().with_drift(3600.0),
-    }
-    print(f"{'scenario':<26} {'crossbars':>10} {'output RMSE':>12}")
-    for name, noise in scenarios.items():
-        executor = AnalogExecutor(
-            network,
-            parameters=parameters,
-            noise=noise,
-            crossbar_rows=256,
-            crossbar_cols=256,
-            seed=3,
+    store = ArtifactStore()  # $REPRO_CACHE_DIR or ~/.cache/repro, as the CLI
+    result = SweepRunner(max_workers=1, cache=ArtifactCache(store=store)).run(points)
+    print(f"{'execution point':<32} {'crossbars':>10} {'rel RMSE':>10} {'top-1':>6}")
+    for outcome in result:
+        accuracy = outcome.accuracy
+        print(
+            f"{outcome.scenario.execution.label:<32} "
+            f"{accuracy.total_crossbars:>10} "
+            f"{accuracy.relative_rms_error:>10.5f} "
+            f"{accuracy.top1_agreement:>6.2f}"
         )
-        output = executor.run_output(image)
-        rmse = float(np.sqrt(np.mean((output - golden) ** 2)))
-        print(f"{name:<26} {executor.total_crossbars:>10} {rmse:>12.5f}")
+    stats = result.cache_stats
+    print(
+        f"\naccuracy cache: {stats.hit_count('accuracy')} hit / "
+        f"{stats.miss_count('accuracy')} built / "
+        f"{stats.disk_hit_count('accuracy')} from the store at {store.root}; "
+        f"digital reference ran {stats.miss_count('reference_output')} "
+        f"time(s) for {len(points)} points"
+    )
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ from .crossbar import (
     TileCoordinate,
     TiledMatrix,
 )
-from .noise import NoiseModel
+from .noise import INLINE_NOISE_FIELDS, NOISE_PRESETS, NoiseModel, resolve_noise_spec
 from .pcm import PCMArray, PCMCellSpec, StackedPCMArray
 
 __all__ = [
@@ -17,10 +17,13 @@ __all__ = [
     "BACKENDS",
     "Crossbar",
     "DACSpec",
+    "INLINE_NOISE_FIELDS",
+    "NOISE_PRESETS",
     "NoiseModel",
     "PCMArray",
     "PCMCellSpec",
     "StackedPCMArray",
     "TileCoordinate",
     "TiledMatrix",
+    "resolve_noise_spec",
 ]

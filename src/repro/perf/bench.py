@@ -28,7 +28,12 @@ wall-clock seconds, lower is better, and are the ones regression-checked;
   artifact store: cold (empty store, every artifact built and spilled)
   vs warm-from-disk (fresh process-local cache, every mapping and
   simulation rehydrated from the store), the macrobenchmark behind the
-  cross-invocation/cross-worker reuse claim.
+  cross-invocation/cross-worker reuse claim;
+* ``accuracy_sweep`` — a noise-preset x crossbar-size accuracy sweep
+  through the scenario subsystem's ``execution`` axis (every point runs
+  the analog functional model against the digital reference), cold vs
+  warm: the warm run must serve every accuracy record — and the shared
+  digital reference outputs — from the cache.
 
 The analog scenarios use a deterministic-read PCM config (programming
 noise and converters on, fixed drift time, read noise off) so the
@@ -121,12 +126,16 @@ class BenchConfig:
     sweep_crossbars: Tuple[int, ...] = (128, 256)
     sweep_clusters: Tuple[int, ...] = (32, 64)
     sweep_batches: Tuple[int, ...] = (2, 4)
+    #: noise presets of the accuracy-sweep macrobenchmark (crossed with
+    #: ``sweep_crossbars`` on the ``sweep_model`` network).
+    accuracy_presets: Tuple[str, ...] = ("ideal", "typical", "pessimistic", "drift")
     scenarios: Tuple[str, ...] = (
         "micro_mvm",
         "analog_forward",
         "final_mapping",
         "scenario_sweep",
         "sweep_persist",
+        "accuracy_sweep",
     )
 
     @classmethod
@@ -146,6 +155,7 @@ class BenchConfig:
             sweep_crossbars=(64,),
             sweep_clusters=(16,),
             sweep_batches=(2, 4),
+            accuracy_presets=("ideal", "typical"),
         )
 
 
@@ -337,12 +347,55 @@ def bench_sweep_persist(config: BenchConfig) -> Dict[str, float]:
     return results
 
 
+def bench_accuracy_sweep(config: BenchConfig) -> Dict[str, float]:
+    """Noise-preset x crossbar-size accuracy sweep, cold vs warm cache.
+
+    Each point runs the full performance pipeline plus the accuracy stage
+    (the vectorized analog model vs the digital reference) through
+    ``SweepRunner``.  ``cold_s`` builds every accuracy record (the digital
+    reference forward runs once per graph, shared across presets);
+    ``warm_s`` re-runs the identical grid against the populated cache, so
+    no executor — analog or digital — runs at all.
+    """
+    grid = ScenarioGrid.from_axes(
+        base=Scenario(
+            model=config.sweep_model,
+            input_shape=config.sweep_input,
+            num_classes=config.sweep_classes,
+            n_clusters=config.sweep_clusters[0],
+            batch_size=config.sweep_batches[0],
+            level=OptimizationLevel.FINAL.value,
+            execution="typical",
+        ),
+        name="accuracy-bench",
+        crossbar_size=config.sweep_crossbars,
+        execution=config.accuracy_presets,
+    )
+    scenarios = grid.expand()
+    results: Dict[str, float] = {
+        "accuracy_sweep.cold_s": _time(
+            lambda: SweepRunner(max_workers=1, cache=ArtifactCache()).run(scenarios),
+            config.repeats,
+        )
+    }
+    warm_runner = SweepRunner(max_workers=1, cache=ArtifactCache())
+    warm_runner.run(scenarios)  # populate the cache once
+    results["accuracy_sweep.warm_s"] = _time(
+        lambda: warm_runner.run(scenarios), config.repeats
+    )
+    results["accuracy_sweep.cache_speedup"] = (
+        results["accuracy_sweep.cold_s"] / results["accuracy_sweep.warm_s"]
+    )
+    return results
+
+
 SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "micro_mvm": bench_micro_mvm,
     "analog_forward": bench_analog_forward,
     "final_mapping": bench_final_mapping,
     "scenario_sweep": bench_scenario_sweep,
     "sweep_persist": bench_sweep_persist,
+    "accuracy_sweep": bench_accuracy_sweep,
 }
 
 

@@ -3,8 +3,9 @@
 This subsystem turns the repo's end-to-end flow into reusable machinery:
 
 * :mod:`repro.scenarios.spec` — :class:`Scenario` (one experiment as plain
-  data) and :class:`ScenarioGrid` (cartesian sweeps), loadable from
-  TOML/JSON spec files;
+  data), :class:`ExecutionSpec` (the accuracy axis: functional backend,
+  noise preset, converter resolutions) and :class:`ScenarioGrid`
+  (cartesian sweeps), loadable from TOML/JSON spec files;
 * :mod:`repro.scenarios.fingerprint` — stable content hashes of graphs,
   architectures and mapping decisions;
 * :mod:`repro.scenarios.cache` — the content-hash-keyed
@@ -14,7 +15,8 @@ This subsystem turns the repo's end-to-end flow into reusable machinery:
   :class:`ArtifactStore` tier behind the cache, shared by parallel sweep
   workers and successive invocations;
 * :mod:`repro.scenarios.pipeline` — the flow as explicit stages
-  (graph → mapping → workload → simulation → metrics), each cacheable,
+  (graph → mapping → workload → simulation → metrics, plus the optional
+  accuracy stage running the analog functional backends), each cacheable,
   plus :func:`run_scenario`;
 * :mod:`repro.scenarios.sweep` — :class:`SweepRunner`, executing
   independent scenarios across worker processes with a serial fallback;
@@ -24,22 +26,38 @@ This subsystem turns the repo's end-to-end flow into reusable machinery:
 from .cache import ArtifactCache, CacheStats
 from .fingerprint import canonicalize, fingerprint
 from .pipeline import (
+    ACCURACY_PAYLOAD_VERSION,
+    AccuracyRecord,
     ScenarioOutcome,
+    accuracy_stage,
     graph_stage,
     mapping_stage,
     optimizer_stage,
+    reference_output_stage,
     run_scenario,
     simulation_stage,
     workload_stage,
 )
-from .spec import Scenario, ScenarioGrid, SpecError, load_spec, parse_spec
+from .spec import (
+    EXECUTION_BACKENDS,
+    ExecutionSpec,
+    Scenario,
+    ScenarioGrid,
+    SpecError,
+    load_spec,
+    parse_spec,
+)
 from .store import ArtifactStore
 from .sweep import ScenarioFailure, SweepResult, SweepRunner, run_sweep
 
 __all__ = [
+    "ACCURACY_PAYLOAD_VERSION",
+    "AccuracyRecord",
     "ArtifactCache",
     "ArtifactStore",
     "CacheStats",
+    "EXECUTION_BACKENDS",
+    "ExecutionSpec",
     "Scenario",
     "ScenarioFailure",
     "ScenarioGrid",
@@ -47,6 +65,7 @@ __all__ = [
     "SpecError",
     "SweepResult",
     "SweepRunner",
+    "accuracy_stage",
     "canonicalize",
     "fingerprint",
     "graph_stage",
@@ -54,6 +73,7 @@ __all__ = [
     "mapping_stage",
     "optimizer_stage",
     "parse_spec",
+    "reference_output_stage",
     "run_scenario",
     "run_sweep",
     "simulation_stage",

@@ -20,6 +20,15 @@ process-local; passing an :class:`~repro.scenarios.store.ArtifactStore`
 adds a second, on-disk tier shared across processes and invocations: a
 memory miss consults the store before building, and fresh builds are
 spilled back to it (memory -> disk -> build).
+
+Module contract: the cache hashes nothing itself — callers bring
+ready-made fingerprint keys — and it stores whatever the build callable
+returns, live objects included.  Only ``get_or_create(persist=True, ...)``
+calls touch the persistent tier, and those payloads must be picklable
+plain data (the ``dump``/``load`` pair converts; see ``docs/caching.md``
+for which regions persist and which stay memory-only).  ``CacheStats``
+misses count *builds*, the invariant every "warm run rebuilds nothing"
+test relies on.
 """
 
 from __future__ import annotations
@@ -137,6 +146,11 @@ class ArtifactCache:
     REGION_MAPPING = "mapping"
     REGION_WORKLOAD = "workload"
     REGION_SIMULATION = "simulation"
+    #: functional-execution (accuracy) artifacts; persisted like simulations.
+    REGION_ACCURACY = "accuracy"
+    #: digital reference outputs shared by every noise point of one graph;
+    #: memory-only (ndarrays that rebuild from the accuracy stage's seed).
+    REGION_REFERENCE_OUTPUT = "reference_output"
 
     def __init__(
         self,

@@ -10,7 +10,10 @@ The spec file (TOML or JSON, see :func:`repro.scenarios.spec.load_spec`)
 declares a base scenario and optional sweep axes; the CLI expands the grid,
 executes it through the :class:`~repro.scenarios.sweep.SweepRunner`, prints
 a results table and optionally writes the full record-layer results as
-JSON.
+JSON.  Specs with an ``execution`` block (the accuracy axis — see
+``docs/scenario-spec.md`` and ``examples/accuracy_sweep.toml``) get two
+extra table columns: relative output RMS error and top-1 agreement of the
+functional execution against the digital reference.
 
 By default the artifact cache is backed by the persistent on-disk store
 (``--cache-dir``, ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a second
@@ -32,19 +35,36 @@ from .sweep import SweepResult, SweepRunner, default_cache
 
 
 def format_outcomes(result: SweepResult) -> str:
-    """Fixed-width results table of one sweep."""
+    """Fixed-width results table of one sweep.
+
+    Accuracy columns (relative output RMS error and top-1 agreement vs the
+    digital reference) appear whenever any outcome ran the accuracy stage.
+    """
+    with_accuracy = any(o.accuracy is not None for o in result.outcomes)
     header = (
         f"{'scenario':<40} {'ms':>8} {'TOPS':>8} {'img/s':>8} "
         f"{'clusters':>9} {'TOPS/W':>8} {'HBM MB':>8}"
     )
+    if with_accuracy:
+        header += f" {'rel RMSE':>9} {'top1':>6}"
     lines = [header, "-" * len(header)]
     for outcome in result.outcomes:
         m = outcome.metrics
-        lines.append(
+        line = (
             f"{outcome.label:<40} {m.makespan_ms:>8.2f} {m.throughput_tops:>8.2f} "
             f"{m.images_per_second:>8.0f} {m.used_clusters:>9} "
             f"{m.energy_efficiency_tops_w:>8.2f} {m.hbm_traffic_mb:>8.1f}"
         )
+        if with_accuracy:
+            accuracy = outcome.accuracy
+            if accuracy is not None:
+                line += (
+                    f" {accuracy.relative_rms_error:>9.5f}"
+                    f" {accuracy.top1_agreement:>6.2f}"
+                )
+            else:
+                line += f" {'-':>9} {'-':>6}"
+        lines.append(line)
     for failure in result.failures:
         lines.append(
             f"{failure.label:<40} infeasible: {failure.error_type}: {failure.message}"

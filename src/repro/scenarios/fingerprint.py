@@ -14,6 +14,22 @@ IR objects, numpy scalars and arrays, mappings with non-string keys, and
 sets.  Unknown objects are rejected loudly rather than fingerprinted by
 ``repr`` — a silent identity-based key would defeat the cache's correctness
 contract.
+
+Module contract:
+
+* **What is hashed:** the ``*_key`` helpers below define, per pipeline
+  stage, exactly which inputs enter the key — see ``docs/caching.md`` for
+  the stage-by-stage rules.  Keys hash a stage's *inputs*, never its
+  outputs, so a behavioural change to a stage must be caught by that
+  stage's payload version, not here.
+* **What is versioned:** :data:`CANONICAL_VERSION` stamps the
+  canonicalisation rules themselves; the on-disk store namespaces entries
+  by it, so bumping it silently invalidates every persisted artifact.
+  Adding a *new* tagged key region (e.g. the ``"accuracy"`` tag) does not
+  require a bump — existing keys are unaffected.
+* Everything canonicalised must be plain data or a registered type; the
+  rendering is injective on its domain (tuples and lists tag distinctly,
+  class names tag dataclasses and enums).
 """
 
 from __future__ import annotations
@@ -224,4 +240,32 @@ def simulation_key(
     """
     return fingerprint(
         ("simulate", arch_fp, workload_fp, model_contention, buffer_depth)
+    )
+
+
+def accuracy_key(
+    graph_fp: str,
+    noise_model: Any,
+    backend: str,
+    crossbar_size: int,
+    seed: int,
+    n_inputs: int,
+) -> str:
+    """Key of an :class:`~repro.scenarios.pipeline.AccuracyRecord`.
+
+    The key hashes the **resolved** :class:`~repro.aimc.noise.NoiseModel`
+    (a frozen dataclass, canonicalised field by field), never the spelling
+    that produced it: a preset name and an equivalent inline mapping key
+    the same artifact, while any change to any noise/converter field —
+    including the DAC/ADC resolution overrides, which are applied before
+    resolution — misses cleanly.  The architecture axes the functional
+    path does not read (cluster count, batch size, simulator options) are
+    deliberately excluded, so one accuracy artifact serves every
+    performance point that shares its graph, crossbar geometry and noise
+    configuration.  For the same reason callers normalise ``noise_model``
+    to ``None`` and ``crossbar_size`` to 0 on the digital backend, which
+    reads neither.
+    """
+    return fingerprint(
+        ("accuracy", graph_fp, noise_model, backend, crossbar_size, seed, n_inputs)
     )

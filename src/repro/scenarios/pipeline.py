@@ -19,24 +19,44 @@ This module splits that chain into named stages with a uniform contract:
 sweep engine ships between processes.  The high-level ``repro.run_inference``
 API is built from the same stages, so in-process callers and spec-file
 sweeps hit the same cache.
+
+Scenarios with an ``execution`` block additionally run
+:func:`accuracy_stage` — the functional (numerical) execution of the graph
+through :class:`~repro.aimc.crossbar.AnalogExecutor` or the digital
+:class:`~repro.dnn.numerics.ReferenceExecutor` — and their outcome carries
+an :class:`AccuracyRecord` next to the timing records.
+
+Module contract: every stage is a pure function of its inputs (the
+accuracy stage included — all stochastic analog effects are seeded from
+the spec), stage keys hash those inputs
+(:mod:`repro.scenarios.fingerprint`), and every record type returned here
+is picklable plain data.  Persisted artifact payloads carry their own
+schema stamps; :data:`ACCURACY_PAYLOAD_VERSION` stamps the accuracy
+stage's, and must be bumped whenever the accuracy computation's semantics
+change without its inputs changing.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+import numpy as np
+
+from ..aimc.crossbar import AnalogExecutor
 from ..analysis.metrics import PerformanceMetrics, compute_metrics
 from ..arch.config import ArchConfig
 from ..core.mapping import MappingRecord, NetworkMapping
 from ..core.optimizer import MappingOptimizer, OptimizationLevel
 from ..core.pipeline import lower_to_workload
 from ..dnn.graph import Graph
+from ..dnn.numerics import ReferenceExecutor, initialize_parameters, random_input
 from ..sim.system import SimulationRecord, SimulationResult, simulate
 from ..sim.workload import Workload
 from .cache import ArtifactCache
 from .fingerprint import (
+    accuracy_key,
     arch_key,
     content_digest,
     fingerprint,
@@ -45,7 +65,7 @@ from .fingerprint import (
     simulation_key,
     workload_key,
 )
-from .spec import Scenario
+from .spec import ExecutionSpec, Scenario
 
 
 # --------------------------------------------------------------------------- #
@@ -241,6 +261,224 @@ def simulation_stage(
 
 
 # --------------------------------------------------------------------------- #
+# Accuracy stage: functional execution vs the digital reference
+# --------------------------------------------------------------------------- #
+#: schema version of :meth:`AccuracyRecord.to_payload`.  Accuracy keys hash
+#: the stage's *inputs* (graph, resolved noise model, backend, geometry,
+#: seeds), so a change to how the metrics are computed — different error
+#: aggregation, a new comparison input set — leaves keys unchanged and MUST
+#: be accompanied by a bump here, or warm stores would serve stale records.
+ACCURACY_PAYLOAD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """Accuracy of one functional execution against the digital reference.
+
+    Plain data (scalars only), picklable and JSON-safe — the accuracy
+    stage's member of the record layer.  ``rms_error`` aggregates over all
+    ``n_inputs`` evaluated images; ``top1_agreement`` is the fraction of
+    them whose output argmax matches the digital reference's.
+    """
+
+    backend: str
+    noise_label: str
+    crossbar_size: int
+    n_inputs: int
+    #: crossbars instantiated by the analog model (0 on the digital backend).
+    total_crossbars: int
+    rms_error: float
+    #: RMS of the digital reference outputs, for scale-free comparison.
+    reference_rms: float
+    top1_agreement: float
+
+    @property
+    def relative_rms_error(self) -> float:
+        """RMS error normalised by the reference output RMS."""
+        if self.reference_rms == 0.0:
+            return 0.0 if self.rms_error == 0.0 else float("inf")
+        return self.rms_error / self.reference_rms
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data rendering (JSON-safe) of the record."""
+        return {
+            "backend": self.backend,
+            "noise_label": self.noise_label,
+            "crossbar_size": self.crossbar_size,
+            "n_inputs": self.n_inputs,
+            "total_crossbars": self.total_crossbars,
+            "rms_error": self.rms_error,
+            "reference_rms": self.reference_rms,
+            "relative_rms_error": self.relative_rms_error,
+            "top1_agreement": self.top1_agreement,
+        }
+
+    # -- persistent-store payload -------------------------------------- #
+    def to_payload(self) -> Dict[str, object]:
+        """Storable rendering: the fields plus the payload schema stamp."""
+        payload = {
+            "backend": self.backend,
+            "noise_label": self.noise_label,
+            "crossbar_size": self.crossbar_size,
+            "n_inputs": self.n_inputs,
+            "total_crossbars": self.total_crossbars,
+            "rms_error": self.rms_error,
+            "reference_rms": self.reference_rms,
+            "top1_agreement": self.top1_agreement,
+        }
+        payload["version"] = ACCURACY_PAYLOAD_VERSION
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AccuracyRecord":
+        """Inverse of :meth:`to_payload`; rejects stale schema stamps."""
+        version = payload.get("version")
+        if version != ACCURACY_PAYLOAD_VERSION:
+            raise ValueError(
+                f"accuracy payload version {version} does not match "
+                f"{ACCURACY_PAYLOAD_VERSION} (stale artifact)"
+            )
+        fields = dict(payload)
+        fields.pop("version")
+        return cls(**fields)
+
+
+def _accuracy_inputs(graph: Graph, execution: ExecutionSpec) -> List[np.ndarray]:
+    """The deterministic input images one accuracy evaluation consumes."""
+    return [
+        random_input(graph, seed=np.random.SeedSequence((execution.seed, index)))
+        for index in range(execution.n_inputs)
+    ]
+
+
+def reference_output_stage(
+    graph: Graph,
+    execution: ExecutionSpec,
+    cache: Optional[ArtifactCache] = None,
+) -> List[np.ndarray]:
+    """Digital reference outputs for one graph/seed/input-set point.
+
+    Shared by every noise configuration of an accuracy sweep over the same
+    graph: the digital forward pass runs once, not once per noise preset.
+    The region is memory-only — the outputs are a pure function of the
+    graph and the execution seeds and rebuild quickly, and the expensive
+    cross-invocation artifact (the :class:`AccuracyRecord`) persists on
+    its own.
+    """
+
+    def build() -> List[np.ndarray]:
+        parameters = initialize_parameters(graph, seed=execution.seed)
+        executor = ReferenceExecutor(graph, parameters=parameters)
+        return [
+            executor.run_output(image)
+            for image in _accuracy_inputs(graph, execution)
+        ]
+
+    if cache is None:
+        return build()
+    key = fingerprint(
+        ("reference-output", graph_key(graph), execution.seed, execution.n_inputs)
+    )
+    return cache.get_or_create(ArtifactCache.REGION_REFERENCE_OUTPUT, key, build)
+
+
+def accuracy_stage(
+    graph: Graph,
+    execution: ExecutionSpec,
+    *,
+    crossbar_size: int = 256,
+    cache: Optional[ArtifactCache] = None,
+) -> AccuracyRecord:
+    """Evaluate (or reuse) the functional accuracy of one execution point.
+
+    Runs ``execution.n_inputs`` deterministic images through the selected
+    backend — ``"digital"`` re-runs the floating-point reference (a
+    zero-error control and determinism check), ``"vectorized"`` and
+    ``"reference"`` run the tiled analog crossbar model at this scenario's
+    crossbar geometry — and summarises output RMS error and top-1
+    agreement against the digital reference.
+
+    The computation is a pure function of its inputs (every stochastic
+    analog effect is seeded from the spec), so the record is cached under
+    :func:`~repro.scenarios.fingerprint.accuracy_key` and persisted to the
+    artifact store with its own payload schema
+    (:data:`ACCURACY_PAYLOAD_VERSION`).  Architecture axes the functional
+    path never reads (cluster count, batch size) are not in the key, so
+    one record serves every performance point sharing its graph, crossbar
+    size and noise configuration.
+    """
+
+    # the digital backend reads neither the noise model nor the crossbar
+    # geometry; normalising both out of the key (and the record) lets one
+    # zero-error control record serve every noise/crossbar point of a grid
+    # instead of building byte-identical copies per point.
+    digital = execution.backend == "digital"
+    record_noise_label = "n/a" if digital else execution.noise_label
+    record_crossbar_size = 0 if digital else crossbar_size
+
+    def build() -> AccuracyRecord:
+        references = reference_output_stage(graph, execution, cache)
+        images = _accuracy_inputs(graph, execution)
+        if digital:
+            # an independent run of the digital path: bit-for-bit equality
+            # with the cached reference outputs is the determinism contract
+            executor = ReferenceExecutor(
+                graph, parameters=initialize_parameters(graph, seed=execution.seed)
+            )
+            total_crossbars = 0
+        else:
+            executor = AnalogExecutor(
+                graph,
+                noise=execution.noise_model,
+                crossbar_rows=crossbar_size,
+                crossbar_cols=crossbar_size,
+                seed=execution.seed,
+                backend=execution.backend,
+            )
+            total_crossbars = executor.total_crossbars
+        squared_error = 0.0
+        squared_reference = 0.0
+        n_values = 0
+        agreements = 0
+        for image, reference in zip(images, references):
+            output = executor.run_output(image)
+            squared_error += float(np.sum((output - reference) ** 2))
+            squared_reference += float(np.sum(reference**2))
+            n_values += reference.size
+            if int(np.argmax(output)) == int(np.argmax(reference)):
+                agreements += 1
+        return AccuracyRecord(
+            backend=execution.backend,
+            noise_label=record_noise_label,
+            crossbar_size=record_crossbar_size,
+            n_inputs=execution.n_inputs,
+            total_crossbars=total_crossbars,
+            rms_error=float(np.sqrt(squared_error / n_values)),
+            reference_rms=float(np.sqrt(squared_reference / n_values)),
+            top1_agreement=agreements / execution.n_inputs,
+        )
+
+    if cache is None:
+        return build()
+    key = accuracy_key(
+        graph_key(graph),
+        None if digital else execution.noise_model,
+        execution.backend,
+        record_crossbar_size,
+        execution.seed,
+        execution.n_inputs,
+    )
+    return cache.get_or_create(
+        ArtifactCache.REGION_ACCURACY,
+        key,
+        build,
+        persist=True,
+        dump=lambda record: record.to_payload(),
+        load=AccuracyRecord.from_payload,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # One scenario, end to end
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -257,6 +495,9 @@ class ScenarioOutcome:
     simulation: SimulationRecord
     mapping: MappingRecord
     elapsed_s: float
+    #: accuracy of the functional execution, when the scenario declared an
+    #: ``execution`` block; None on performance-only scenarios.
+    accuracy: Optional[AccuracyRecord] = None
     #: position of the scenario in the sweep's input list (-1 when the
     #: outcome was produced outside a sweep).  With ``on_error="record"``
     #: failures are reported separately, so this is the only way to realign
@@ -275,6 +516,7 @@ class ScenarioOutcome:
             "metrics": self.metrics.as_record(),
             "simulation": self.simulation.as_dict(),
             "mapping": self.mapping.as_dict(),
+            "accuracy": self.accuracy.as_dict() if self.accuracy is not None else None,
             "elapsed_s": self.elapsed_s,
             "index": self.index,
         }
@@ -305,10 +547,19 @@ def run_scenario(
         cache=cache,
     )
     metrics = compute_metrics(result, mapping, name=scenario.label)
+    accuracy = None
+    if scenario.execution is not None:
+        accuracy = accuracy_stage(
+            graph,
+            scenario.execution,
+            crossbar_size=scenario.crossbar_size,
+            cache=cache,
+        )
     return ScenarioOutcome(
         scenario=scenario,
         metrics=metrics,
         simulation=result.record(),
         mapping=mapping.record(),
+        accuracy=accuracy,
         elapsed_s=time.perf_counter() - start,
     )

@@ -23,6 +23,24 @@ expressed.  :func:`load_spec` reads either format::
     crossbar_size = [128, 256, 512]
     n_clusters = [64, 256]
     batch_size = [1, 16]
+
+An optional ``execution`` block (:class:`ExecutionSpec`) makes the analog
+functional path a scenario dimension: which execution backend evaluates
+the network numerically (digital reference, vectorized analog, per-tile
+analog reference loop), under which named or inline
+:class:`~repro.aimc.noise.NoiseModel`, at which DAC/ADC resolutions.  A
+scenario with an execution block additionally runs the accuracy stage
+(:func:`repro.scenarios.pipeline.accuracy_stage`); ``execution`` is also a
+sweep axis, so accuracy/performance trade-off grids (noise preset x
+converter resolution x architecture scale) expand like any other sweep.
+See ``docs/scenario-spec.md`` for the full field reference.
+
+Module contract: every spec type here is a **frozen dataclass of plain
+data** — hashable where field types allow, picklable, JSON-renderable via
+``as_dict()``, and canonicalisable by :mod:`repro.scenarios.fingerprint`.
+Specs carry no live objects (graphs and architectures are *built* from
+them), which is what lets a scenario cross process boundaries and key the
+artifact cache.
 """
 
 from __future__ import annotations
@@ -34,6 +52,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..aimc.crossbar import BACKENDS as ANALOG_BACKENDS
+from ..aimc.noise import NOISE_PRESETS, NoiseModel, resolve_noise_spec
 from ..arch.config import ArchConfig
 from ..core.optimizer import OptimizationLevel
 from ..dnn import models as model_zoo
@@ -62,6 +82,168 @@ _PAPER_DEFAULTS = {
 }
 
 
+#: valid values of :attr:`ExecutionSpec.backend`: the digital floating-point
+#: reference plus the two analog engines of :mod:`repro.aimc.crossbar`.
+EXECUTION_BACKENDS = ("digital",) + ANALOG_BACKENDS
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a scenario's network is evaluated *numerically* (the accuracy axis).
+
+    The performance stages (mapping, lowering, event-driven simulation)
+    never execute the network's arithmetic; this block declares a
+    functional execution of the same graph through
+    :class:`~repro.aimc.crossbar.AnalogExecutor` (or the digital
+    :class:`~repro.dnn.numerics.ReferenceExecutor`) so accuracy metrics
+    ride the same sweep as timing metrics.
+
+    Everything is plain data: ``noise`` is a preset name from
+    :data:`~repro.aimc.noise.NOISE_PRESETS` or an inline field mapping
+    (normalised to a sorted tuple of pairs so the spec stays hashable);
+    the resolved :class:`~repro.aimc.noise.NoiseModel` is available as
+    :attr:`noise_model`.  ``dac_bits``/``adc_bits`` override the resolved
+    model's converter resolutions, making converter precision a first-class
+    sweep axis.
+    """
+
+    backend: str = "vectorized"
+    noise: Union[str, Tuple[Tuple[str, object], ...]] = "typical"
+    #: DAC/ADC resolution overrides (None keeps the noise model's value).
+    dac_bits: Optional[int] = None
+    adc_bits: Optional[int] = None
+    #: seed of the deterministic parameter/input generation and of every
+    #: stochastic analog effect — accuracy results are pure functions of
+    #: the spec, which is what makes them cacheable.
+    seed: int = 0
+    #: number of deterministic input images evaluated; top-1 agreement is
+    #: the fraction of them whose argmax matches the digital reference.
+    n_inputs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise SpecError(
+                f"unknown execution backend {self.backend!r}; expected one of "
+                f"{', '.join(EXECUTION_BACKENDS)}"
+            )
+        noise = self.noise
+        if isinstance(noise, Mapping):
+            noise = tuple(sorted(noise.items()))
+            object.__setattr__(self, "noise", noise)
+        elif not isinstance(noise, str):
+            if isinstance(noise, NoiseModel):
+                # specs stay declarative plain data; a resolved model has
+                # no lossless inline spelling (nested cell/converter specs)
+                raise SpecError(
+                    "noise must be a preset name or an inline field mapping, "
+                    "not a NoiseModel — spell the configuration as data, "
+                    'e.g. {"preset": "typical", "drift_time_s": 3600.0}'
+                )
+            try:
+                noise = tuple(tuple(pair) for pair in noise)
+            except TypeError:
+                raise SpecError(
+                    f"noise must be a preset name or a field mapping, not "
+                    f"{type(self.noise).__name__}"
+                ) from None
+            object.__setattr__(self, "noise", tuple(sorted(noise)))
+        for bits, name in ((self.dac_bits, "dac_bits"), (self.adc_bits, "adc_bits")):
+            if bits is not None and not 1 <= bits <= 16:
+                raise SpecError(f"{name} must be in 1..16 when given")
+        if self.n_inputs <= 0:
+            raise SpecError("n_inputs must be positive")
+        try:
+            self.noise_model  # resolve once so bad specs fail at load time
+        except (TypeError, ValueError) as error:
+            raise SpecError(str(error)) from None
+
+    @classmethod
+    def coerce(cls, value: object) -> "ExecutionSpec":
+        """Build a spec from the forms spec files use.
+
+        Accepts an existing spec, a bare noise-preset name (``"ideal"``,
+        the common sweep-axis shorthand), or a field mapping whose
+        ``noise`` entry may itself be a preset name or an inline table.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(noise=value)
+        if isinstance(value, Mapping):
+            unknown = set(value) - _EXECUTION_FIELDS
+            if unknown:
+                raise SpecError(
+                    f"unknown execution field(s): {', '.join(sorted(unknown))}; "
+                    f"expected {', '.join(sorted(_EXECUTION_FIELDS))}"
+                )
+            return cls(**value)
+        raise SpecError(
+            f"execution must be a table, a noise-preset name or an "
+            f"ExecutionSpec, not {type(value).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def noise_model(self) -> NoiseModel:
+        """The resolved noise model, converter overrides applied.
+
+        Two spellings that resolve to the same model (preset name vs an
+        equivalent inline mapping) produce equal models — and therefore
+        share cached accuracy artifacts, because the cache keys hash this
+        resolved model, never the spelling.
+        """
+        spec = self.noise if isinstance(self.noise, str) else dict(self.noise)
+        model = resolve_noise_spec(spec)
+        if self.dac_bits is not None:
+            model = dataclasses.replace(
+                model, dac=dataclasses.replace(model.dac, bits=self.dac_bits)
+            )
+        if self.adc_bits is not None:
+            model = dataclasses.replace(
+                model, adc=dataclasses.replace(model.adc, bits=self.adc_bits)
+            )
+        return model
+
+    @property
+    def noise_label(self) -> str:
+        """Display name of the noise configuration.
+
+        Derived from the *resolved* model, never the spelling: an inline
+        mapping equivalent to a preset labels as that preset (``inline``
+        otherwise).  Cached :class:`~repro.scenarios.pipeline.
+        AccuracyRecord` objects carry this label, and cache keys hash the
+        resolved model — a spelling-dependent label would let a record
+        built under one spelling be served, mislabelled, to an equivalent
+        spelling.
+        """
+        if isinstance(self.noise, str):
+            return self.noise
+        model = resolve_noise_spec(dict(self.noise))
+        for name, factory in NOISE_PRESETS.items():
+            if factory() == model:
+                return name
+        return "inline"
+
+    @property
+    def label(self) -> str:
+        """Short identifier used inside scenario labels."""
+        parts = [self.backend, self.noise_label]
+        if self.dac_bits is not None or self.adc_bits is not None:
+            parts.append(f"d{self.dac_bits or '-'}a{self.adc_bits or '-'}")
+        return ":".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data rendering (JSON-safe) of the spec."""
+        payload = dataclasses.asdict(self)
+        payload["noise"] = (
+            self.noise if isinstance(self.noise, str) else dict(self.noise)
+        )
+        return payload
+
+
+_EXECUTION_FIELDS = {f.name for f in dataclasses.fields(ExecutionSpec)}
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One declarative experiment point.
@@ -88,6 +270,13 @@ class Scenario:
     # -- simulator options ----------------------------------------------- #
     model_contention: bool = True
     buffer_depth: int = 2
+    # -- accuracy axis: functional execution of the network ---------------- #
+    #: when set, the scenario additionally runs the accuracy stage
+    #: (functional execution vs the digital reference) with this backend/
+    #: noise/converter configuration; ``None`` keeps the scenario
+    #: performance-only.  Accepts an :class:`ExecutionSpec`, a mapping of
+    #: its fields, or a bare noise-preset name.
+    execution: Optional[ExecutionSpec] = None
     # -- optional display name -------------------------------------------- #
     name: Optional[str] = None
 
@@ -113,6 +302,8 @@ class Scenario:
             raise SpecError("n_clusters must be positive when given")
         if self.buffer_depth <= 0:
             raise SpecError("buffer_depth must be positive")
+        if self.execution is not None and not isinstance(self.execution, ExecutionSpec):
+            object.__setattr__(self, "execution", ExecutionSpec.coerce(self.execution))
 
     # ------------------------------------------------------------------ #
     # Resolution to live objects
@@ -158,10 +349,13 @@ class Scenario:
         """Short human-readable identifier used in tables and logs."""
         if self.name:
             return self.name
-        return (
+        label = (
             f"{self.model}/{self.level}"
             f"/x{self.crossbar_size}/c{self.resolved_n_clusters}/b{self.batch_size}"
         )
+        if self.execution is not None:
+            label += f"/{self.execution.label}"
+        return label
 
     def replace(self, **changes: object) -> "Scenario":
         """A copy of this scenario with some fields changed."""
@@ -171,6 +365,9 @@ class Scenario:
         """Plain-data rendering (JSON-safe) of the spec."""
         payload = dataclasses.asdict(self)
         payload["input_shape"] = list(self.input_shape)
+        payload["execution"] = (
+            self.execution.as_dict() if self.execution is not None else None
+        )
         return payload
 
 
@@ -270,6 +467,10 @@ def parse_spec(payload: Mapping[str, object], name: str = "sweep") -> ScenarioGr
             raise SpecError(f"axis {axis!r} must list its values")
         if axis == "input_shape":
             values = [tuple(v) for v in values]
+        elif axis == "execution":
+            # coerce eagerly so a bad preset name fails at load time with
+            # the spec diagnostic, not mid-sweep at expansion
+            values = [ExecutionSpec.coerce(v) for v in values]
         axes.append((axis, tuple(values)))
     return ScenarioGrid(
         base=base, axes=tuple(axes), name=str(payload.get("name", name))

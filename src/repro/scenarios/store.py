@@ -20,9 +20,11 @@ Design rules, in decreasing order of importance:
   rules, new envelope layout — silently invalidates the whole namespace
   (old entries are simply never looked up).  Artifact *payloads* carry
   their own schema stamps (``MAPPING_PAYLOAD_VERSION``,
-  ``SIMULATION_PAYLOAD_VERSION``) checked at rehydration time, so an
-  algorithm change that leaves keys unchanged still misses instead of
-  serving stale results.
+  ``SIMULATION_PAYLOAD_VERSION``, ``ACCURACY_PAYLOAD_VERSION``) checked
+  at rehydration time, so an algorithm change that leaves keys unchanged
+  still misses instead of serving stale results.  The store itself checks
+  only its envelope — payload stamps belong to the artifact types and are
+  enforced by their ``from_payload`` loaders.
 * **Concurrent writers are safe.**  Writes go to a unique temporary file
   in the destination directory followed by an atomic :func:`os.replace`;
   readers therefore never observe partial entries, and racing writers

@@ -17,6 +17,15 @@ cache is backed by a persistent :class:`~repro.scenarios.store.
 ArtifactStore`, every worker attaches to the same store — so artifacts
 computed by one worker (or a previous invocation) are served from disk to
 all the others.
+
+Module contract: everything that crosses a process boundary is plain
+picklable data — scenarios travel out as specs (never live graphs or
+architectures; workers rebuild or rehydrate those), and results travel
+back as record-layer outcomes/failures plus per-task ``CacheStats``
+deltas.  The engine adds no cache keys and no versioning of its own: all
+hashing lives in :mod:`repro.scenarios.fingerprint`, all payload schemas
+with the artifact types, so every stage a scenario runs — the accuracy
+stage included — gets cross-worker reuse for free.
 """
 
 from __future__ import annotations

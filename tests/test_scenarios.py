@@ -181,6 +181,7 @@ class TestFingerprints:
             "max_replication": 32,
             "model_contention": False,
             "buffer_depth": 3,
+            "execution": "typical",
             "name": "renamed",
         }
         # every Scenario field is covered by this test
