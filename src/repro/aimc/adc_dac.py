@@ -37,11 +37,20 @@ def _uniform_quantize(
         if float(scale) == 0.0:
             return np.zeros_like(values)
         step = float(scale) / half_levels
-        codes = np.clip(np.round(values / step), -half_levels, half_levels)
-        return codes * step
+        # round → clip → rescale, computed in place on one fresh array: the
+        # converters run once per layer batch on the vectorized hot path,
+        # where the extra temporaries are measurable memory traffic.
+        codes = values / step
+        np.round(codes, out=codes)
+        np.clip(codes, -half_levels, half_levels, out=codes)
+        codes *= step
+        return codes
     step = np.where(scale > 0, scale, 1.0) / half_levels
-    codes = np.clip(np.round(values / step), -half_levels, half_levels)
-    return np.where(scale > 0, codes * step, 0.0)
+    codes = values / step
+    np.round(codes, out=codes)
+    np.clip(codes, -half_levels, half_levels, out=codes)
+    codes *= step
+    return np.where(scale > 0, codes, 0.0)
 
 
 @dataclass(frozen=True)

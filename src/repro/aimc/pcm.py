@@ -64,7 +64,16 @@ class PCMArray:
     Signed weights are stored differentially (``G_plus - G_minus``), the
     standard technique for bipolar weights on unipolar conductances.  The
     array supports noisy programming, read noise and conductance drift.
+
+    Device-state cache: deterministic reads (no read noise; drift at a
+    fixed time is deterministic) return a cached effective-weight matrix,
+    exactly like :class:`StackedPCMArray` — the same invalidation rules
+    apply (reprogramming, a different drift time; read-noise reads always
+    bypass and never touch the cache).
     """
+
+    #: sentinel marking the cache as empty (``None`` is a valid drift time).
+    _NO_CACHE = object()
 
     def __init__(
         self,
@@ -83,6 +92,8 @@ class PCMArray:
         self._g_minus = np.zeros((rows, cols))
         self._target_scale = 1.0
         self._programmed = False
+        self._cache_time = PCMArray._NO_CACHE
+        self._cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Programming
@@ -112,6 +123,8 @@ class PCMArray:
         self._g_plus = np.clip(g_plus, self.cell.g_min_us, self.cell.g_max_us)
         self._g_minus = np.clip(g_minus, self.cell.g_min_us, self.cell.g_max_us)
         self._programmed = True
+        self._cache_time = PCMArray._NO_CACHE
+        self._cache = None
 
     @property
     def is_programmed(self) -> bool:
@@ -128,9 +141,15 @@ class PCMArray:
 
         ``time_s`` applies conductance drift relative to the programming
         reference time; ``read_noise`` adds per-read Gaussian noise.
+        Deterministic reads are cached (callers must not mutate the
+        returned matrix); read-noise reads bypass the cache and draw fresh
+        noise every time.
         """
         if not self._programmed:
             raise RuntimeError("the PCM array has not been programmed")
+        if not read_noise and self._cache_time is not PCMArray._NO_CACHE:
+            if self._cache_time == time_s:
+                return self._cache
         g_plus = self._g_plus
         g_minus = self._g_minus
         if time_s is not None and time_s > self.cell.drift_t0_s:
@@ -142,7 +161,11 @@ class PCMArray:
             g_plus = g_plus + self._rng.normal(0.0, sigma, size=g_plus.shape)
             g_minus = g_minus + self._rng.normal(0.0, sigma, size=g_minus.shape)
         differential = (g_plus - g_minus) / self.cell.g_range_us
-        return differential * self._target_scale
+        weights = differential * self._target_scale
+        if not read_noise:
+            self._cache_time = time_s
+            self._cache = weights
+        return weights
 
     def programming_error(self, target_weights: np.ndarray) -> float:
         """RMS error between target and programmed weights (no drift/read noise)."""

@@ -161,7 +161,7 @@ class Route:
         """Cycles to push ``n_bytes`` through the narrowest link of the path."""
         if n_bytes <= 0:
             return 0
-        return math.ceil(n_bytes / self.min_width_bytes)
+        return -(-int(n_bytes) // self.min_width_bytes)
 
     def zero_load_cycles(self, n_bytes: int) -> int:
         """Zero-load latency of a burst: hop latency plus serialisation."""
@@ -199,6 +199,12 @@ class QuadrantTopology:
         for level in self._bottom_up:
             size *= level.quadrant_factor
             self._group_sizes.append(size)
+        # Routes are pure functions of the (immutable) topology, and the
+        # event simulator asks for the same handful of routes tens of
+        # thousands of times per run, so they are memoized.
+        self._route_cache: Dict[Tuple[int, int], Route] = {}
+        self._hbm_up_cache: Dict[int, Route] = {}
+        self._hbm_down_cache: Dict[int, Route] = {}
 
     # ------------------------------------------------------------------ #
     # Node naming
@@ -246,9 +252,18 @@ class QuadrantTopology:
         quadrant node and descends to the destination cluster.  Every
         directed edge traversed contributes its level's router latency, and
         every edge is named so the NoC simulator can model contention on it.
+        Routes are memoized: repeated calls return the same object.
         """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         self._check_cluster(src)
         self._check_cluster(dst)
+        route = self._build_route(src, dst)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _build_route(self, src: int, dst: int) -> Route:
         if src == dst:
             return Route(links=(), hop_latency_cycles=0, min_width_bytes=self._min_width())
         top = self.common_level(src, dst)
@@ -274,6 +289,9 @@ class QuadrantTopology:
 
     def route_to_hbm(self, cluster: int) -> Route:
         """Route from a cluster all the way up to the HBM controller."""
+        cached = self._hbm_up_cache.get(cluster)
+        if cached is not None:
+            return cached
         self._check_cluster(cluster)
         links: List[str] = []
         latency = 0
@@ -289,21 +307,28 @@ class QuadrantTopology:
         # The top level in Table I order is the HBM link; bottom-up it is the
         # last element and its latency covers the hop into the controller.
         latency += self._bottom_up[top_index].latency_cycles
-        return Route(
+        route = Route(
             links=tuple(links),
             hop_latency_cycles=latency,
             min_width_bytes=self._min_width(),
         )
+        self._hbm_up_cache[cluster] = route
+        return route
 
     def route_from_hbm(self, cluster: int) -> Route:
         """Route from the HBM controller down to a cluster."""
+        cached = self._hbm_down_cache.get(cluster)
+        if cached is not None:
+            return cached
         up = self.route_to_hbm(cluster)
         links = tuple(self._reverse_edge(link) for link in reversed(up.links))
-        return Route(
+        route = Route(
             links=links,
             hop_latency_cycles=up.hop_latency_cycles,
             min_width_bytes=up.min_width_bytes,
         )
+        self._hbm_down_cache[cluster] = route
+        return route
 
     def hop_distance(self, src: int, dst: int) -> int:
         """Number of directed links between two clusters (0 when equal)."""

@@ -33,12 +33,24 @@ wall-clock seconds, lower is better, and are the ones regression-checked;
   through the scenario subsystem's ``execution`` axis (every point runs
   the analog functional model against the digital reference), cold vs
   warm: the warm run must serve every accuracy record — and the shared
-  digital reference outputs — from the cache.
+  digital reference outputs — from the cache;
+* ``sim_engine`` — a pure event-kernel microbenchmark (servers + credit
+  stores churning a synthetic pipeline, no numpy, no workload build),
+  isolating the dispatch-loop cost the bucketed engine optimises;
+* ``large_batch_sim`` — a batch-64 simulation of the naive paper mapping
+  (256 pipeline jobs), full event-driven run vs the exact steady-state
+  fast-forward (:mod:`repro.sim.steady_state`); the ``ff_speedup`` ratio
+  is the macrobenchmark behind the fast-forward claim and both timings
+  are regression-gated.
 
 The analog scenarios use a deterministic-read PCM config (programming
 noise and converters on, fixed drift time, read noise off) so the
 vectorized backend's device-state cache is active — the configuration the
 fast path is designed for.
+
+``--profile`` runs every selected scenario once under :mod:`cProfile` and
+prints the top-20 functions by internal time, so perf work starts from
+evidence instead of guesses; profile runs write no trajectory point.
 """
 
 from __future__ import annotations
@@ -60,6 +72,8 @@ from ..aimc import AnalogExecutor, NoiseModel, TiledMatrix
 from ..core import OptimizationLevel
 from ..dnn import models
 from ..dnn.numerics import initialize_parameters, random_input
+from ..sim.engine import CreditStore, Engine, Server
+from ..sim.system import simulate
 from ..scenarios import (
     ArtifactCache,
     ArtifactStore,
@@ -129,6 +143,15 @@ class BenchConfig:
     #: noise presets of the accuracy-sweep macrobenchmark (crossed with
     #: ``sweep_crossbars`` on the ``sweep_model`` network).
     accuracy_presets: Tuple[str, ...] = ("ideal", "typical", "pessimistic", "drift")
+    #: jobs pushed through the synthetic pipeline of the event-kernel
+    #: microbenchmark (``sim_engine``).
+    engine_jobs: int = 2000
+    #: the batch-64 simulation macrobenchmark (``large_batch_sim``): the
+    #: naive mapping is used because its pipeline is periodic from the
+    #: first job, the regime the steady-state fast-forward certifies.
+    large_batch: int = 64
+    large_input: Tuple[int, int, int] = (3, 256, 256)
+    large_clusters: int = 256
     scenarios: Tuple[str, ...] = (
         "micro_mvm",
         "analog_forward",
@@ -136,6 +159,8 @@ class BenchConfig:
         "scenario_sweep",
         "sweep_persist",
         "accuracy_sweep",
+        "sim_engine",
+        "large_batch_sim",
     )
 
     @classmethod
@@ -156,6 +181,10 @@ class BenchConfig:
             sweep_clusters=(16,),
             sweep_batches=(2, 4),
             accuracy_presets=("ideal", "typical"),
+            engine_jobs=300,
+            # 64 x 64 inputs lower to one tile per image: 64 jobs, the
+            # smallest batch-64 run the fast-forward still engages on.
+            large_input=(3, 64, 64),
         )
 
 
@@ -389,6 +418,82 @@ def bench_accuracy_sweep(config: BenchConfig) -> Dict[str, float]:
     return results
 
 
+def _kernel_churn(n_jobs: int, n_stages: int = 8) -> int:
+    """Synthetic event-kernel load: a credit-gated pipeline of servers.
+
+    Every job flows through ``n_stages`` capacity-1 servers, each guarded
+    by a double-buffered credit store — the same primitive mix (and the
+    same same-cycle cascade pattern) the system simulator produces, without
+    any workload lowering or numpy in the way.
+    """
+    engine = Engine()
+    servers = [Server(engine, f"s{i}") for i in range(n_stages)]
+    credits = [CreditStore(engine, f"c{i}", initial=2) for i in range(n_stages)]
+
+    def start(stage: int, job: int) -> None:
+        credits[stage].acquire(
+            lambda: servers[stage].submit(
+                7 if stage % 2 else 11, lambda: done(stage, job)
+            )
+        )
+
+    def done(stage: int, job: int) -> None:
+        credits[stage].release()
+        if stage + 1 < n_stages:
+            engine.after(stage % 3, lambda: start(stage + 1, job))
+
+    for job in range(n_jobs):
+        engine.after(5 * job, lambda j=job: start(0, j))
+    engine.run()
+    return engine.events_processed
+
+
+def bench_sim_engine(config: BenchConfig) -> Dict[str, float]:
+    """Raw discrete-event kernel throughput (no numpy, no lowering)."""
+    return {
+        "sim_engine.kernel_s": _time(
+            lambda: _kernel_churn(config.engine_jobs), config.repeats
+        )
+    }
+
+
+def bench_large_batch_sim(config: BenchConfig) -> Dict[str, float]:
+    """Batch-64 simulation: full event-driven run vs steady-state fast-forward.
+
+    The workload is the naive mapping of ResNet-18 (one replica per stage),
+    whose pipeline is bottleneck-paced — and therefore exactly periodic —
+    from the first job.  ``full_s`` times ``simulate()`` as-is; ``ff_s``
+    times ``simulate(fast_forward=True)``, which probes a shortened run,
+    certifies the period and extrapolates the rest analytically.  Both are
+    regression-gated; ``ff_speedup`` is the headline ratio (the results
+    are bit-identical — asserted in ``tests/test_sim_fast_forward.py``).
+    """
+    scenario = Scenario(
+        model="resnet18",
+        input_shape=config.large_input,
+        batch_size=config.large_batch,
+        level=OptimizationLevel.NAIVE.value,
+        n_clusters=config.large_clusters,
+        crossbar_size=config.sim_crossbar,
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(graph, arch, scenario.batch_size, scenario.level_enum)
+    workload = workload_stage(mapping)
+    results = {
+        "large_batch_sim.full_s": _time(
+            lambda: simulate(arch, workload), config.repeats
+        ),
+        "large_batch_sim.fast_forward_s": _time(
+            lambda: simulate(arch, workload, fast_forward=True), config.repeats
+        ),
+    }
+    results["large_batch_sim.ff_speedup"] = (
+        results["large_batch_sim.full_s"] / results["large_batch_sim.fast_forward_s"]
+    )
+    return results
+
+
 SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "micro_mvm": bench_micro_mvm,
     "analog_forward": bench_analog_forward,
@@ -396,6 +501,8 @@ SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "scenario_sweep": bench_scenario_sweep,
     "sweep_persist": bench_sweep_persist,
     "accuracy_sweep": bench_accuracy_sweep,
+    "sim_engine": bench_sim_engine,
+    "large_batch_sim": bench_large_batch_sim,
 }
 
 
@@ -543,6 +650,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="small inputs (smoke runs / CI)"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each selected scenario once under cProfile and print the "
+        "top-20 functions by internal time; writes no trajectory point",
+    )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats")
     parser.add_argument(
         "--scenario",
@@ -564,6 +677,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = replace(config, repeats=args.repeats)
     if args.scenario:
         config = replace(config, scenarios=tuple(args.scenario))
+
+    if args.profile:
+        if args.check or args.output is not None:
+            # profiling short-circuits the measurement/gate path; silently
+            # ignoring --check would let a regression through with exit 0
+            parser.error("--profile cannot be combined with --check or --output")
+        import cProfile
+        import pstats
+
+        profile_config = replace(config, repeats=1)
+        for name in config.scenarios:
+            print(f"=== profile: {name} ===")
+            profiler = cProfile.Profile()
+            profiler.enable()
+            SCENARIOS[name](profile_config)
+            profiler.disable()
+            pstats.Stats(profiler).sort_stats("tottime").print_stats(20)
+        return 0
 
     results = run_benchmarks(config)
     print("benchmark results:")

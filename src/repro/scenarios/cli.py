@@ -105,6 +105,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="keep the artifact cache in memory only (no on-disk store)",
     )
     parser.add_argument(
+        "--fast-forward",
+        action="store_true",
+        help="enable the exact steady-state fast-forward for every scenario "
+        "(periodic simulations are probed and extrapolated, bit-identical "
+        "results; non-periodic ones run in full) — equivalent to "
+        "fast_forward = true in the spec's [base] table",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the expanded scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -112,6 +120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         grid = load_spec(args.spec)
         scenarios = grid.expand()
+        if args.fast_forward:
+            scenarios = [s.replace(fast_forward=True) for s in scenarios]
     except (TypeError, ValueError) as error:
         # SpecError (also from expanding invalid axis values), JSON/TOML
         # decode errors and badly-typed field values (all ValueError/

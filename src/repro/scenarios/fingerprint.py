@@ -229,17 +229,24 @@ def workload_key(mapping_fp: str, zero_communication: bool) -> str:
 
 
 def simulation_key(
-    arch_fp: str, workload_fp: str, model_contention: bool, buffer_depth: int
+    arch_fp: str,
+    workload_fp: str,
+    model_contention: bool,
+    buffer_depth: int,
+    fast_forward: bool = False,
 ) -> str:
     """Key of a :class:`~repro.sim.system.SimulationResult`.
 
     The architecture is part of the key in its own right: the simulator
     reads timing parameters (HBM burst size, DMA bandwidth, link latencies)
     straight from the :class:`~repro.arch.config.ArchConfig`, which the
-    workload IR deliberately does not encode.
+    workload IR deliberately does not encode.  ``fast_forward`` is part of
+    the key even though fast-forwarded results are bit-identical on every
+    metric: the persisted payload records the ``fast_forwarded`` provenance
+    flag, and serving one mode's artifact to the other would misreport it.
     """
     return fingerprint(
-        ("simulate", arch_fp, workload_fp, model_contention, buffer_depth)
+        ("simulate", arch_fp, workload_fp, model_contention, buffer_depth, fast_forward)
     )
 
 

@@ -231,6 +231,7 @@ def simulation_stage(
     *,
     model_contention: bool = True,
     buffer_depth: int = 2,
+    fast_forward: bool = False,
     cache: Optional[ArtifactCache] = None,
 ) -> SimulationResult:
     """Simulate (or reuse) one workload on one architecture.
@@ -240,19 +241,35 @@ def simulation_stage(
     that simulate the same point share one simulation, while architectures
     differing only in simulator-visible timing parameters (HBM burst size,
     link latencies) never collide even when they lower to identical IR.
+    ``fast_forward`` enables the exact steady-state fast-forward
+    (:mod:`repro.sim.steady_state`); it changes how the result is computed,
+    never its metrics, but keys separately so the persisted
+    ``fast_forwarded`` provenance flag stays truthful.
     """
     if cache is None:
         return simulate(
-            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+            arch,
+            workload,
+            model_contention=model_contention,
+            buffer_depth=buffer_depth,
+            fast_forward=fast_forward,
         )
     key = simulation_key(
-        arch_key(arch), content_digest(workload), model_contention, buffer_depth
+        arch_key(arch),
+        content_digest(workload),
+        model_contention,
+        buffer_depth,
+        fast_forward,
     )
     return cache.get_or_create(
         ArtifactCache.REGION_SIMULATION,
         key,
         lambda: simulate(
-            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+            arch,
+            workload,
+            model_contention=model_contention,
+            buffer_depth=buffer_depth,
+            fast_forward=fast_forward,
         ),
         persist=True,
         dump=lambda result: result.to_payload(),
@@ -544,6 +561,7 @@ def run_scenario(
         workload,
         model_contention=scenario.model_contention,
         buffer_depth=scenario.buffer_depth,
+        fast_forward=scenario.fast_forward,
         cache=cache,
     )
     metrics = compute_metrics(result, mapping, name=scenario.label)

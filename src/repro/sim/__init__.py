@@ -4,6 +4,7 @@ from .cluster_model import ClusterModel, L1OverflowError
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
 from .ima_model import IMAJob, IMATimingModel
 from .noc import LinkPool, NocModel, TransferRequest
+from .steady_state import fast_forward_simulate
 from .system import SimulationRecord, SimulationResult, SystemSimulator, simulate
 from .tracer import CATEGORIES, ClusterActivity, StageActivity, Tracer
 from .workload import (
@@ -43,5 +44,6 @@ __all__ = [
     "Tracer",
     "TransferRequest",
     "Workload",
+    "fast_forward_simulate",
     "simulate",
 ]

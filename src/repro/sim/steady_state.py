@@ -1,0 +1,423 @@
+"""Steady-state detection and exact fast-forward of periodic pipeline runs.
+
+The pipelined dataflow of the paper's execution model is *periodic* after
+warm-up: with constant per-job costs and self-timed flow control, the whole
+event pattern — job completions, transfers, credit hand-offs — repeats with
+some period of ``W`` jobs and ``D`` cycles.  Once the pattern repeats, the
+remaining jobs are redundant simulation work: running ``W`` more jobs shifts
+everything after the insertion point by exactly ``D`` cycles and adds
+exactly one window's worth of activity and traffic.
+
+:func:`fast_forward_simulate` exploits this *without approximating*:
+
+1. **Probe.** Simulate a shortened copy of the workload (a few dozen jobs),
+   recording the full per-stage completion traces plus, at every completion
+   of the final stage, a snapshot of the aggregate traffic counters and of
+   the per-cluster / per-stage / per-link activity.
+2. **Detect & certify.** Find the smallest window ``W`` such that the
+   inter-completion deltas of *every* stage and the per-window increments
+   of *every* recorded quantity are identical over at least
+   :data:`MIN_WINDOWS` consecutive windows (the pipeline-fill head and the
+   drain tail are excluded by the scan).  All stages must agree on one
+   period ``D``; any disagreement, or any quantity that fails the
+   window-increment equality, rejects the workload.
+3. **Extrapolate.** For the remaining ``t = (n - b) / W`` windows, shift
+   the probe's drain tail by ``t·D``, splice ``t·W`` periodic completions
+   into each stage's trace, and add ``t×`` the certified window increment
+   to every counter.  Integer arithmetic throughout — the result is
+   bit-identical to the full run (asserted over the model zoo in
+   ``tests/test_sim_fast_forward.py``).
+
+When certification fails — mappings whose replica round-robins never settle
+into a short period, runs too short to amortise a probe — the caller falls
+back to the full event-driven simulation, so ``fast_forward=True`` is
+always safe, merely not always faster.  See ``docs/simulator.md`` for the
+correctness argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import ArchConfig
+from .system import SimulationResult, SystemSimulator
+from .workload import Workload
+
+#: below this job count a probe costs about as much as the full run.
+MIN_JOBS = 48
+
+#: aimed probe size, in jobs; the probe must contain the pipeline fill plus
+#: at least ``(MIN_WINDOWS + 1)`` steady windows plus the drain.
+PROBE_TARGET = 24
+
+#: the probe size is chosen ``≡ n_jobs (mod PROBE_ALIGN)`` so that every
+#: window length dividing this value yields an integer window count without
+#: a second probe.
+PROBE_ALIGN = 12
+
+#: largest candidate window (jobs) considered by the detector.
+MAX_WINDOW = 12
+
+#: consecutive identical windows required to certify steadiness.
+MIN_WINDOWS = 3
+
+
+_ClusterSnap = Dict[int, Tuple[int, int, int, int, int, int]]
+_StageSnap = Dict[int, Tuple]
+_LinkSnap = Dict[str, int]
+
+
+class _ProbeSimulator(SystemSimulator):
+    """A system simulator that snapshots state at final-stage completions.
+
+    Snapshots are taken at identical event positions (the ``job_finished``
+    call of the final stage), so window-to-window comparisons are exact.
+    """
+
+    def __init__(self, arch, workload, model_contention, buffer_depth):
+        super().__init__(
+            arch,
+            workload,
+            model_contention=model_contention,
+            buffer_depth=buffer_depth,
+        )
+        self._final_stage_id = workload.final_stage().stage_id
+        #: (now, hbm_bytes, noc_bytes, noc_byte_hops, local_bytes, n_transfers)
+        self.counter_snaps: List[Tuple[int, ...]] = []
+        self.cluster_snaps: List[_ClusterSnap] = []
+        self.stage_snaps: List[_StageSnap] = []
+        self.link_snaps: List[_LinkSnap] = []
+
+    def job_finished(self, stage_id: int, job_index: int) -> None:
+        super().job_finished(stage_id, job_index)
+        if stage_id == self._final_stage_id:
+            tracer = self.tracer
+            self.counter_snaps.append(
+                (
+                    self.engine._now,
+                    tracer.hbm_bytes,
+                    tracer.noc_bytes,
+                    tracer.noc_byte_hops,
+                    tracer.local_bytes,
+                    tracer.n_transfers,
+                )
+            )
+            self.cluster_snaps.append(
+                {
+                    cid: (
+                        act.analog,
+                        act.digital,
+                        act.communication,
+                        act.synchronization,
+                        act.jobs,
+                        act.last_busy_cycle,
+                    )
+                    for cid, act in tracer.clusters.items()
+                }
+            )
+            self.stage_snaps.append(
+                {
+                    sid: (
+                        rec.jobs_completed,
+                        rec.analog_busy,
+                        rec.digital_busy,
+                        rec.input_stall,
+                        rec.output_stall,
+                        rec.first_job_start,
+                        rec.last_job_end,
+                    )
+                    for sid, rec in tracer.stages.items()
+                }
+            )
+            self.link_snaps.append(dict(tracer.link_busy))
+
+
+@dataclass
+class _Plan:
+    """A certified extrapolation: window, period and per-quantity deltas."""
+
+    window: int  # W, in jobs
+    period: int  # D, in cycles
+    anchor: int  # final-completion index the deltas were measured at
+    counter_delta: Tuple[int, ...]  # per-window (D, hbm, noc, hops, local, transfers)
+    #: per-stage head length: trace[:head] is kept verbatim, the periodic
+    #: block is inserted there, trace[head:] is the drain tail (shifted).
+    stage_heads: Dict[int, int]
+
+
+def _rightmost_periodic_run(deltas: List, window: int) -> Optional[int]:
+    """Last delta index ``e`` with ``≥ MIN_WINDOWS·window`` periodic deltas.
+
+    ``deltas[j]`` is periodic when it equals ``deltas[j - window]``.  The
+    scan walks from the end of the run (skipping the drain tail, whose
+    deltas genuinely deviate) and returns the end index of the rightmost
+    run of consecutive periodic deltas long enough to certify steadiness,
+    or ``None``.
+    """
+    need = MIN_WINDOWS * window
+    j = len(deltas) - 1
+    while j - window >= 0:
+        if deltas[j] == deltas[j - window]:
+            end = j
+            while j - window >= 0 and deltas[j] == deltas[j - window]:
+                j -= 1
+            if end - j >= need:
+                return end
+            # run too short: resume the scan below it
+        else:
+            j -= 1
+    return None
+
+
+def _deltas(values: List) -> List:
+    return [
+        tuple(b - a for a, b in zip(x, y)) if isinstance(x, tuple) else y - x
+        for x, y in zip(values, values[1:])
+    ]
+
+
+def _analyze(probe: _ProbeSimulator, result: SimulationResult, window: int) -> Optional[_Plan]:
+    """Certify periodicity of one probe run at one candidate window."""
+    b = result.workload.n_jobs
+    snaps = probe.counter_snaps
+    if len(snaps) != b:
+        return None
+    counter_deltas = _deltas(snaps)
+    end = _rightmost_periodic_run(counter_deltas, window)
+    if end is None:
+        return None
+    anchor = end + 1  # snapshot index whose preceding window is certified
+    if anchor - 2 * window < 0:
+        return None
+    counter_delta = tuple(
+        a - c for a, c in zip(snaps[anchor], snaps[anchor - window])
+    )
+    period = counter_delta[0]
+    if period <= 0:
+        return None
+
+    # every stage's completion trace must be periodic with the same period
+    stage_heads: Dict[int, int] = {}
+    for stage_id in result.jobs_completed:
+        trace = result.tracer.stage_completions.get(stage_id, ())
+        if len(trace) != b:
+            return None
+        trace_deltas = [y - x for x, y in zip(trace, trace[1:])]
+        trace_end = _rightmost_periodic_run(trace_deltas, window)
+        if trace_end is None:
+            return None
+        head = trace_end + 2  # trace[:head] ends inside the certified region
+        if head - 1 - window < 0 or trace[head - 1] - trace[head - 1 - window] != period:
+            return None
+        stage_heads[stage_id] = head
+
+    # per-cluster, per-stage and per-link activity must grow by the same
+    # amount over the two certified windows before the anchor
+    if not _verify_window_increments(probe, anchor, window, period):
+        return None
+    return _Plan(
+        window=window,
+        period=period,
+        anchor=anchor,
+        counter_delta=counter_delta,
+        stage_heads=stage_heads,
+    )
+
+
+def _verify_window_increments(
+    probe: _ProbeSimulator, anchor: int, window: int, period: int
+) -> bool:
+    """Check that every activity dict grew identically over the last two
+    certified windows (the second-difference test)."""
+    c0 = probe.cluster_snaps[anchor - 2 * window]
+    c1 = probe.cluster_snaps[anchor - window]
+    c2 = probe.cluster_snaps[anchor]
+    zero6 = (0, 0, 0, 0, 0, 0)
+    for cid in c2:
+        s0 = c0.get(cid, zero6)
+        s1 = c1.get(cid, zero6)
+        s2 = c2[cid]
+        # additive fields: analog, digital, communication, sync, jobs
+        for i in range(5):
+            if s2[i] - s1[i] != s1[i] - s0[i]:
+                return False
+        # last_busy_cycle either advances by exactly one period per window
+        # (the cluster is active in steady state) or stands still
+        d1, d2 = s1[5] - s0[5], s2[5] - s1[5]
+        if d2 != d1 or d2 not in (0, period):
+            return False
+    g0 = probe.stage_snaps[anchor - 2 * window]
+    g1 = probe.stage_snaps[anchor - window]
+    g2 = probe.stage_snaps[anchor]
+    for sid in g2:
+        s0, s1, s2 = g0.get(sid), g1.get(sid), g2[sid]
+        if s0 is None or s1 is None:
+            return False
+        if s2[0] - s1[0] != window or s1[0] - s0[0] != window:
+            return False  # every stage completes exactly W jobs per window
+        for i in (1, 2, 3, 4):
+            if s2[i] - s1[i] != s1[i] - s0[i]:
+                return False
+        if not (s0[5] == s1[5] == s2[5]):
+            return False  # first_job_start is settled during the fill
+        if s2[6] - s1[6] != period or s1[6] - s0[6] != period:
+            return False
+    l0 = probe.link_snaps[anchor - 2 * window]
+    l1 = probe.link_snaps[anchor - window]
+    l2 = probe.link_snaps[anchor]
+    for link in l2:
+        if l2[link] - l1.get(link, 0) != l1.get(link, 0) - l0.get(link, 0):
+            return False
+    return True
+
+
+def _extrapolate(
+    probe: _ProbeSimulator,
+    result: SimulationResult,
+    plan: _Plan,
+    workload: Workload,
+) -> SimulationResult:
+    """Advance the probe result by ``t`` certified windows, in place."""
+    b = result.workload.n_jobs
+    n = workload.n_jobs
+    window, period = plan.window, plan.period
+    t = (n - b) // window
+    shift = t * period
+    tracer = result.tracer
+
+    # aggregate traffic counters
+    __, d_hbm, d_noc, d_hops, d_local, d_transfers = plan.counter_delta
+    tracer.hbm_bytes += t * d_hbm
+    tracer.noc_bytes += t * d_noc
+    tracer.noc_byte_hops += t * d_hops
+    tracer.local_bytes += t * d_local
+    tracer.n_transfers += t * d_transfers
+    tracer.makespan += shift
+
+    # per-cluster activity
+    c1 = probe.cluster_snaps[plan.anchor - window]
+    c2 = probe.cluster_snaps[plan.anchor]
+    zero6 = (0, 0, 0, 0, 0, 0)
+    for cid, act in tracer.clusters.items():
+        s1 = c1.get(cid, zero6)
+        s2 = c2.get(cid, zero6)
+        act.analog += t * (s2[0] - s1[0])
+        act.digital += t * (s2[1] - s1[1])
+        act.communication += t * (s2[2] - s1[2])
+        act.synchronization += t * (s2[3] - s1[3])
+        act.jobs += t * (s2[4] - s1[4])
+        # shift the last-activity cycle when the cluster is still active at
+        # (or after) the anchor; fill-only clusters keep theirs untouched
+        if act.last_busy_cycle > s2[5] or s2[5] - s1[5] == period:
+            act.last_busy_cycle += shift
+
+    # per-stage activity records
+    g1 = probe.stage_snaps[plan.anchor - window]
+    g2 = probe.stage_snaps[plan.anchor]
+    for sid, rec in tracer.stages.items():
+        s1, s2 = g1[sid], g2[sid]
+        rec.jobs_completed += t * window
+        rec.analog_busy += t * (s2[1] - s1[1])
+        rec.digital_busy += t * (s2[2] - s1[2])
+        rec.input_stall += t * (s2[3] - s1[3])
+        rec.output_stall += t * (s2[4] - s1[4])
+        rec.last_job_end += shift
+
+    # per-link busy cycles
+    l1 = probe.link_snaps[plan.anchor - window]
+    l2 = probe.link_snaps[plan.anchor]
+    for link, busy in l2.items():
+        tracer.link_busy[link] += t * (busy - l1.get(link, 0))
+
+    # per-stage completion traces: head + t periodic windows + shifted tail
+    for sid, trace in tracer.stage_completions.items():
+        head = plan.stage_heads[sid]
+        new_trace = list(trace[:head])
+        for __ in range(t * window):
+            new_trace.append(new_trace[-window] + period)
+        for j in range(head, b):
+            new_trace.append(trace[j] + shift)
+        tracer.stage_completions[sid] = new_trace
+
+    final_stage_id = workload.final_stage().stage_id
+    final_trace = tracer.stage_completions[final_stage_id]
+    result.workload = workload
+    result.makespan_cycles = tracer.makespan
+    result.jobs_completed = {sid: n for sid in result.jobs_completed}
+    result.final_stage_completions = tuple(final_trace[-2:])
+    result.fast_forwarded = True
+    return result
+
+
+def _probe_size(n: int, align: int, target: int) -> int:
+    """Smallest probe size ``≡ n (mod align)`` at or above ``target``."""
+    return n - align * ((n - target) // align)
+
+
+def _run_probe(
+    arch: ArchConfig, workload: Workload, b: int, model_contention: bool, buffer_depth: int
+) -> Tuple[_ProbeSimulator, SimulationResult]:
+    probe = _ProbeSimulator(
+        arch, workload.with_n_jobs(b), model_contention, buffer_depth
+    )
+    return probe, probe.run()
+
+
+def fast_forward_simulate(
+    arch: ArchConfig,
+    workload: Workload,
+    model_contention: bool = True,
+    buffer_depth: int = 2,
+) -> Optional[SimulationResult]:
+    """Simulate ``workload`` via steady-state fast-forward, if certifiable.
+
+    Returns a :class:`~repro.sim.system.SimulationResult` bit-identical to
+    the full event-driven run, with ``fast_forwarded=True`` — or ``None``
+    when the workload is too small to be worth probing or its steady state
+    cannot be certified, in which case the caller should run the full
+    simulation.
+    """
+    n = workload.n_jobs
+    if n < MIN_JOBS:
+        return None
+    # probe sizing: start near PROBE_TARGET; if certification fails —
+    # typically because the probe is shorter than the pipeline's fill plus
+    # drain, so no window exists in which *every* stage runs at the
+    # bottleneck rate — escalate once to a depth-scaled probe.  A probe
+    # costing more than half the full run cannot pay for itself.
+    targets = (PROBE_TARGET, PROBE_TARGET + 2 * len(workload.stages))
+    probes_run = 0
+    for target in targets:
+        if target > n // 2 or probes_run >= 2:
+            break
+        b = _probe_size(n, PROBE_ALIGN, target)
+        if b >= n or b > n // 2:
+            break
+        probe, result = _run_probe(arch, workload, b, model_contention, buffer_depth)
+        probes_run += 1
+        if not result.completed:
+            return None
+        uncertified: Optional[int] = None
+        for window in range(1, MAX_WINDOW + 1):
+            if (n - b) % window == 0:
+                plan = _analyze(probe, result, window)
+                if plan is not None:
+                    return _extrapolate(probe, result, plan, workload)
+            elif uncertified is None and _analyze(probe, result, window) is not None:
+                uncertified = window
+        if uncertified is not None:
+            # the pipeline is periodic, but the window does not divide the
+            # remaining job count: re-probe once at an aligned size
+            window = uncertified
+            b2 = n - window * ((n - target) // window)
+            if b2 < n and b2 != b and b2 <= n // 2:
+                probe, result = _run_probe(
+                    arch, workload, b2, model_contention, buffer_depth
+                )
+                if result.completed:
+                    plan = _analyze(probe, result, window)
+                    if plan is not None:
+                        return _extrapolate(probe, result, plan, workload)
+            return None
+    return None

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..arch.config import ArchConfig
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
-from .noc import NocModel, TransferRequest
+from .noc import NocModel
 from .tracer import Tracer
 from .workload import (
     DataFlow,
@@ -41,7 +41,9 @@ from .workload import (
 #: schema version of :meth:`SimulationResult.to_payload`.  Bump on any
 #: change to the payload structure or to the simulator semantics the
 #: payload freezes; loaders reject mismatched payloads and re-simulate.
-SIMULATION_PAYLOAD_VERSION = 1
+#: Version 2: per-stage completion traces ride the tracer and the payload
+#: carries the ``fast_forwarded`` flag.
+SIMULATION_PAYLOAD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,10 @@ class SimulationRecord:
     local_bytes: int
     n_transfers: int
     model_contention: bool
+    #: whether the run was produced by the steady-state fast-forward
+    #: (:mod:`repro.sim.steady_state`); every other field is bit-identical
+    #: to the full event-driven run it replaces.
+    fast_forwarded: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary (JSON-safe) rendering of the declared fields."""
@@ -95,6 +101,9 @@ class SimulationResult:
     #: completion cycles of the last two jobs of the final pipeline stage
     #: (empty when the simulator predates them or the run was truncated).
     final_stage_completions: Tuple[int, ...] = ()
+    #: whether the steady-state fast-forward produced this result (the
+    #: record fields are bit-identical to the full run either way).
+    fast_forwarded: bool = False
 
     @property
     def makespan_seconds(self) -> float:
@@ -130,6 +139,30 @@ class SimulationResult:
         return self.makespan_cycles / max(1, self.workload.n_jobs)
 
     # ------------------------------------------------------------------ #
+    # Per-stage completion traces (the Fig. 5D latency staircase)
+    # ------------------------------------------------------------------ #
+    @property
+    def stage_completions(self) -> Dict[int, Tuple[int, ...]]:
+        """Completion cycle of every job of every stage, in completion order.
+
+        Keyed by stage id; each value has one entry per pipeline job.  The
+        traces ride the tracer, so they survive the artifact store round
+        trip; results deserialised from pre-trace payloads return an empty
+        mapping.
+        """
+        traces = getattr(self.tracer, "stage_completions", None)
+        if not traces:
+            return {}
+        return {stage_id: tuple(trace) for stage_id, trace in traces.items()}
+
+    def completion_trace(self, stage_id: int) -> Tuple[int, ...]:
+        """The completion trace of one stage (empty when not recorded)."""
+        traces = getattr(self.tracer, "stage_completions", None)
+        if not traces:
+            return ()
+        return tuple(traces.get(stage_id, ()))
+
+    # ------------------------------------------------------------------ #
     # Compact serialisation (the on-disk artifact store)
     # ------------------------------------------------------------------ #
     def to_payload(self) -> Dict[str, object]:
@@ -149,6 +182,7 @@ class SimulationResult:
             "jobs_completed": dict(self.jobs_completed),
             "model_contention": self.model_contention,
             "final_stage_completions": tuple(self.final_stage_completions),
+            "fast_forwarded": self.fast_forwarded,
         }
 
     @classmethod
@@ -175,6 +209,7 @@ class SimulationResult:
             jobs_completed=dict(payload["jobs_completed"]),
             model_contention=payload["model_contention"],
             final_stage_completions=tuple(payload["final_stage_completions"]),
+            fast_forwarded=bool(payload["fast_forwarded"]),
         )
 
     def record(self) -> SimulationRecord:
@@ -195,6 +230,7 @@ class SimulationResult:
             local_bytes=self.tracer.local_bytes,
             n_transfers=self.tracer.n_transfers,
             model_contention=self.model_contention,
+            fast_forwarded=self.fast_forwarded,
         )
 
 
@@ -389,8 +425,9 @@ class SystemSimulator:
         self._stages: Dict[int, _StageRuntime] = {}
         self._finished_stages = 0
         self._last_completion_cycle = 0
-        #: last two job-completion cycles per stage (steady-state metric).
-        self._stage_completions: Dict[int, Tuple[int, ...]] = {}
+        # memoized per-size DMA/communication cycle counts (hot path)
+        self._dma_cycle_memo: Dict[int, int] = {}
+        self._comm_cycle_memo: Dict[int, int] = {}
         # Map (kind, label) of relayed flows (HBM / storage residuals) to the
         # consumer stage and flow index expecting them.
         self._relay_targets: Dict[Tuple[str, str], Tuple[int, int]] = {}
@@ -436,14 +473,13 @@ class SystemSimulator:
 
             def granted() -> None:
                 dst = runtime.desc.io_cluster
-                request = TransferRequest(None, dst, flow.bytes_per_job)
 
                 def delivered() -> None:
                     self._attribute_communication(dst, flow.bytes_per_job)
                     runtime.deliver(flow_index, job_index)
                     fetch(job_index + 1)
 
-                self.noc.transfer(request, delivered)
+                self.noc.transfer_bytes(None, dst, flow.bytes_per_job, delivered)
 
             runtime.input_credits[flow_index].acquire(granted)
 
@@ -464,16 +500,25 @@ class SystemSimulator:
     def _dma_cycles(self, n_bytes: int) -> int:
         if n_bytes <= 0:
             return 0
-        spec = self.arch.cluster
-        return spec.cores.dma_config_cycles + math.ceil(
-            n_bytes / spec.dma_bandwidth_bytes_per_cycle
-        )
+        cycles = self._dma_cycle_memo.get(n_bytes)
+        if cycles is None:
+            spec = self.arch.cluster
+            cycles = spec.cores.dma_config_cycles + math.ceil(
+                n_bytes / spec.dma_bandwidth_bytes_per_cycle
+            )
+            self._dma_cycle_memo[n_bytes] = cycles
+        return cycles
 
     def _attribute_communication(self, cluster: Optional[int], n_bytes: int) -> None:
         if cluster is None:
             return
-        cycles = math.ceil(n_bytes / self.arch.cluster.dma_bandwidth_bytes_per_cycle)
-        self.tracer.record_cluster(cluster, "communication", cycles, self.engine.now)
+        cycles = self._comm_cycle_memo.get(n_bytes)
+        if cycles is None:
+            cycles = math.ceil(
+                n_bytes / self.arch.cluster.dma_bandwidth_bytes_per_cycle
+            )
+            self._comm_cycle_memo[n_bytes] = cycles
+        self.tracer.record_cluster(cluster, "communication", cycles, self.engine._now)
 
     def send_bytes(
         self, src: Optional[int], dst: Optional[int], n_bytes: int, on_done
@@ -484,18 +529,16 @@ class SystemSimulator:
             return
 
         def start_noc() -> None:
-            request = TransferRequest(src, dst, n_bytes)
-
             def finished() -> None:
                 self._attribute_communication(dst, n_bytes)
                 on_done()
 
-            self.noc.transfer(request, finished)
+            self.noc.transfer_bytes(src, dst, n_bytes, finished)
 
         if src is not None:
             duration = self._dma_cycles(n_bytes)
             self.tracer.record_cluster(
-                src, "communication", duration, self.engine.now + duration
+                src, "communication", duration, self.engine._now + duration
             )
             self._dma_server(src).submit(duration, start_noc)
         else:
@@ -615,9 +658,10 @@ class SystemSimulator:
     # ------------------------------------------------------------------ #
     def job_finished(self, stage_id: int, job_index: int) -> None:
         """Called by stage runtimes; tracks overall completion."""
-        self._last_completion_cycle = max(self._last_completion_cycle, self.engine.now)
-        previous = self._stage_completions.get(stage_id, ())
-        self._stage_completions[stage_id] = previous[-1:] + (self.engine.now,)
+        now = self.engine._now
+        if now > self._last_completion_cycle:
+            self._last_completion_cycle = now
+        self.tracer.record_stage_completion(stage_id, now)
 
     def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
         """Run the workload to completion and return the results."""
@@ -644,8 +688,8 @@ class SystemSimulator:
                 "data-flow graph is inconsistent"
             )
         makespan = self.tracer.makespan
-        self.tracer.makespan = makespan
         final_stage = self.workload.final_stage()
+        final_trace = self.tracer.stage_completions.get(final_stage.stage_id, ())
         return SimulationResult(
             workload=self.workload,
             arch=self.arch,
@@ -653,9 +697,7 @@ class SystemSimulator:
             tracer=self.tracer,
             jobs_completed=jobs_completed,
             model_contention=self.model_contention,
-            final_stage_completions=self._stage_completions.get(
-                final_stage.stage_id, ()
-            ),
+            final_stage_completions=tuple(final_trace[-2:]),
         )
 
 
@@ -664,8 +706,29 @@ def simulate(
     workload: Workload,
     model_contention: bool = True,
     buffer_depth: int = 2,
+    fast_forward: bool = False,
 ) -> SimulationResult:
-    """Convenience wrapper: build a simulator and run the workload."""
+    """Convenience wrapper: build a simulator and run the workload.
+
+    With ``fast_forward=True`` the steady-state fast-forward
+    (:mod:`repro.sim.steady_state`) first probes a shortened run; when the
+    pipeline's inter-job completion deltas are verifiably periodic across
+    all stages, the remaining jobs are extrapolated analytically — the
+    returned result is bit-identical to the full run (asserted over the
+    model zoo in ``tests/test_sim_fast_forward.py``) and carries
+    ``fast_forwarded=True``.  When periodicity cannot be certified (or the
+    workload is too small to be worth probing) the full event-driven run
+    executes, so ``fast_forward=False`` behaviour is always available as
+    the fallback.
+    """
+    if fast_forward:
+        from .steady_state import fast_forward_simulate
+
+        result = fast_forward_simulate(
+            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+        )
+        if result is not None:
+            return result
     simulator = SystemSimulator(
         arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
     )

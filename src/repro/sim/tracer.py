@@ -93,6 +93,11 @@ class Tracer:
         # per-link busy cycles, for hot-spot analysis
         self.link_busy: DefaultDict[str, int] = defaultdict(int)
         self.makespan = 0
+        #: full per-stage job-completion traces: stage_id -> completion
+        #: cycle of every job, in completion order.  This is the raw data
+        #: behind the Fig. 5D latency staircase and the steady-state
+        #: detector (see ``docs/simulator.md`` for the schema).
+        self.stage_completions: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Cluster activity
@@ -107,14 +112,33 @@ class Tracer:
         self, cluster_id: int, category: str, cycles: int, end_cycle: int
     ) -> None:
         """Add ``cycles`` of activity of ``category`` to one cluster."""
-        if category not in CATEGORIES:
-            raise ValueError(f"unknown activity category {category!r}")
         if cycles < 0:
             raise ValueError("cycles cannot be negative")
-        activity = self.cluster(cluster_id)
-        setattr(activity, category, getattr(activity, category) + int(cycles))
-        activity.last_busy_cycle = max(activity.last_busy_cycle, int(end_cycle))
-        self.makespan = max(self.makespan, int(end_cycle))
+        activity = self.clusters.get(cluster_id)
+        if activity is None:
+            if category not in CATEGORIES:
+                # validate before creating state: a rejected call must not
+                # leave a phantom all-zero cluster behind
+                raise ValueError(f"unknown activity category {category!r}")
+            activity = self.cluster(cluster_id)
+        cycles = int(cycles)
+        # dispatch without setattr/getattr: this runs for every compute and
+        # communication event of the simulation.
+        if category == "analog":
+            activity.analog += cycles
+        elif category == "digital":
+            activity.digital += cycles
+        elif category == "communication":
+            activity.communication += cycles
+        elif category == "synchronization":
+            activity.synchronization += cycles
+        else:
+            raise ValueError(f"unknown activity category {category!r}")
+        end_cycle = int(end_cycle)
+        if end_cycle > activity.last_busy_cycle:
+            activity.last_busy_cycle = end_cycle
+        if end_cycle > self.makespan:
+            self.makespan = end_cycle
 
     def record_job(self, cluster_id: int) -> None:
         """Count one pipeline job executed on a cluster."""
@@ -149,6 +173,22 @@ class Tracer:
             record.first_job_start = int(start_cycle)
         record.last_job_end = max(record.last_job_end, int(end_cycle))
         self.makespan = max(self.makespan, int(end_cycle))
+
+    def record_stage_completion(self, stage_id: int, cycle: int) -> None:
+        """Append one job-completion cycle to a stage's completion trace.
+
+        Completion means the job's outputs have been handed to their
+        consumers (the stage's output-buffer slot is free again), so the
+        final stage's last entry coincides with the end of the run.
+        """
+        trace = self.stage_completions.get(stage_id)
+        if trace is None:
+            trace = self.stage_completions[stage_id] = []
+        trace.append(int(cycle))
+
+    def completion_trace(self, stage_id: int) -> Tuple[int, ...]:
+        """The completion trace of one stage (empty if never recorded)."""
+        return tuple(self.stage_completions.get(stage_id, ()))
 
     def record_stage_stall(
         self, stage_id: int, input_cycles: int = 0, output_cycles: int = 0

@@ -15,6 +15,7 @@ simulator reusable for synthetic workloads in tests and ablations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -216,6 +217,15 @@ class Workload:
     def total_ops(self) -> int:
         """Total operations of the batch (1 MAC = 2 ops plus digital ops)."""
         return 2 * self.total_macs + self.total_digital_ops
+
+    def with_n_jobs(self, n_jobs: int) -> "Workload":
+        """A copy of this workload processing a different number of jobs.
+
+        Everything else — stages, costs, data flows, bookkeeping totals —
+        is shared.  The steady-state fast-forward uses this for its probe
+        runs (:mod:`repro.sim.steady_state`).
+        """
+        return dataclasses.replace(self, n_jobs=n_jobs)
 
     def bottleneck_stage(self) -> StageDescriptor:
         """The stage with the largest steady-state per-job cost."""

@@ -52,6 +52,41 @@ class TestPCM:
         with pytest.raises(ValueError):
             PCMCellSpec(g_max_us=0.0, g_min_us=0.0)
 
+    def test_deterministic_reads_are_cached(self):
+        """Same drift time -> same matrix object; the values stay exact."""
+        array = PCMArray(8, 8, seed=3)
+        weights = np.random.default_rng(3).normal(size=(8, 8))
+        array.program(weights, ideal=True)
+        first = array.effective_weights(time_s=3600.0)
+        assert array.effective_weights(time_s=3600.0) is first
+        # a different drift time misses and replaces the cache
+        other = array.effective_weights(time_s=1e6)
+        assert other is not first
+        assert array.effective_weights(time_s=1e6) is other
+        np.testing.assert_array_equal(other, array.effective_weights(time_s=1e6))
+
+    def test_cache_invalidated_by_reprogramming(self):
+        array = PCMArray(8, 8, seed=4)
+        rng = np.random.default_rng(4)
+        array.program(rng.normal(size=(8, 8)), ideal=True)
+        before = array.effective_weights()
+        new_weights = rng.normal(size=(8, 8))
+        array.program(new_weights, ideal=True)
+        after = array.effective_weights()
+        assert after is not before
+        np.testing.assert_allclose(after, new_weights, atol=1e-12)
+
+    def test_read_noise_bypasses_the_cache(self):
+        array = PCMArray(8, 8, seed=5)
+        array.program(np.random.default_rng(5).normal(size=(8, 8)), ideal=True)
+        deterministic = array.effective_weights()
+        noisy_a = array.effective_weights(read_noise=True)
+        noisy_b = array.effective_weights(read_noise=True)
+        assert noisy_a is not deterministic
+        assert not np.array_equal(noisy_a, noisy_b)  # fresh noise every read
+        # the deterministic cache survives noisy reads untouched
+        assert array.effective_weights() is deterministic
+
 
 class TestConverters:
     def test_dac_is_idempotent_on_grid(self):

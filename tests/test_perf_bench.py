@@ -134,6 +134,36 @@ class TestScenarios:
             "micro_mvm.speedup",
         }
 
+    def test_sim_engine_reports_kernel_timing(self):
+        from repro.perf.bench import bench_sim_engine
+
+        results = bench_sim_engine(replace(TINY, engine_jobs=50))
+        assert results["sim_engine.kernel_s"] > 0
+
+    def test_large_batch_sim_reports_both_modes(self):
+        from repro.perf.bench import bench_large_batch_sim
+
+        config = replace(
+            TINY,
+            large_batch=8,
+            large_input=(3, 32, 32),
+            large_clusters=256,
+            sim_crossbar=256,
+        )
+        results = bench_large_batch_sim(config)
+        assert set(results) == {
+            "large_batch_sim.full_s",
+            "large_batch_sim.fast_forward_s",
+            "large_batch_sim.ff_speedup",
+        }
+        assert results["large_batch_sim.full_s"] > 0
+        assert results["large_batch_sim.fast_forward_s"] > 0
+
+    def test_new_scenarios_are_in_the_default_gate(self):
+        for scenarios in (BenchConfig().scenarios, BenchConfig.quick().scenarios):
+            assert "sim_engine" in scenarios
+            assert "large_batch_sim" in scenarios
+
 
 class TestCLI:
     def _argv(self, tmp_path, *extra):
@@ -193,3 +223,18 @@ class TestCLI:
         target = tmp_path / "nested" / "BENCH_PR1.json"
         assert main(self._argv(tmp_path, "--output", str(target))) == 0
         assert target.exists()
+
+    def test_profile_prints_hot_functions_and_writes_nothing(self, tmp_path, capsys):
+        argv = [
+            "--profile",
+            "--quick",
+            "--scenario",
+            "sim_engine",
+            "--root",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "profile: sim_engine" in printed
+        assert "cumtime" in printed  # the pstats table header
+        assert list(tmp_path.glob("BENCH_*.json")) == []

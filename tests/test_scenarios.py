@@ -181,6 +181,7 @@ class TestFingerprints:
             "max_replication": 32,
             "model_contention": False,
             "buffer_depth": 3,
+            "fast_forward": True,
             "execution": "typical",
             "name": "renamed",
         }

@@ -181,6 +181,56 @@ class TestStoreRobustness:
         assert fresh.get_or_create("simulation", key, build, persist=True) == "artifact"
         assert len(builds) == 2
 
+    def test_pr4_simulation_payloads_read_as_misses_and_rebuild_once(self, tmp_path):
+        """The PR 5 payload-version bump invalidates PR 4-era store entries.
+
+        PR 5 bumped SIMULATION_PAYLOAD_VERSION (per-stage completion traces
+        on the tracer, the fast_forwarded provenance flag): a warm store
+        written under the old stamp must read as a miss, rebuild exactly
+        once, and serve the rebuilt entry from disk afterwards.
+        """
+        from repro.sim.system import SIMULATION_PAYLOAD_VERSION
+
+        assert SIMULATION_PAYLOAD_VERSION == 2  # bumped in PR 5
+        store = ArtifactStore(tmp_path / "sim-payload-store")
+        cache = ArtifactCache(store=store)
+        graph, arch = TINY.build_graph(), TINY.build_arch()
+        mapping = mapping_stage(
+            graph, arch, TINY.batch_size, OptimizationLevel.FINAL, cache=cache
+        )
+        workload = workload_stage(mapping, cache=cache)
+        result = simulation_stage(arch, workload, cache=cache)
+        # stamp every persisted simulation payload as the PR 4 schema
+        region_dir = store._namespace / "simulation"
+        stamped = 0
+        for path in region_dir.rglob("*"):
+            if not path.is_file():
+                continue
+            envelope = pickle.loads(path.read_bytes())
+            envelope["payload"]["version"] = 1
+            path.write_bytes(pickle.dumps(envelope))
+            stamped += 1
+        assert stamped == 1
+        fresh = ArtifactCache(store=store)  # a new process over the old store
+        mapping2 = mapping_stage(
+            graph, arch, TINY.batch_size, OptimizationLevel.FINAL, cache=fresh
+        )
+        workload2 = workload_stage(mapping2, cache=fresh)
+        rebuilt = simulation_stage(arch, workload2, cache=fresh)
+        assert fresh.stats.miss_count("simulation") == 1  # rebuilt, not served
+        assert fresh.stats.disk_hit_count("simulation") == 0
+        assert rebuilt.record() == result.record()
+        # rebuilt once: the refreshed entry serves the next process from disk
+        third = ArtifactCache(store=store)
+        mapping3 = mapping_stage(
+            graph, arch, TINY.batch_size, OptimizationLevel.FINAL, cache=third
+        )
+        workload3 = workload_stage(mapping3, cache=third)
+        served = simulation_stage(arch, workload3, cache=third)
+        assert third.stats.miss_count("simulation") == 0
+        assert third.stats.disk_hit_count("simulation") == 1
+        assert served.record() == result.record()
+
     def test_stale_payload_version_forces_rebuild(self, tmp_path):
         """A future MAPPING_PAYLOAD_VERSION bump must read as a miss."""
         store = ArtifactStore(tmp_path / "payload-store")

@@ -108,6 +108,93 @@ class TestEngine:
         assert engine.empty()
 
 
+class TestEngineEdgeSemantics:
+    """Bounded-run, same-cycle-batch and re-entrancy contracts of run()."""
+
+    def test_max_events_mid_batch_leaves_consistent_clock_and_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("a", "b", "c"):
+            engine.at(7, lambda t=tag: order.append(t))
+        engine.at(9, lambda: order.append("late"))
+        # stop in the middle of the same-cycle batch at t=7
+        engine.run(max_events=2)
+        assert order == ["a", "b"]
+        assert engine.now == 7
+        assert not engine.empty()
+        # the unprocessed tail resumes exactly where the run stopped, FIFO
+        engine.run()
+        assert order == ["a", "b", "c", "late"]
+        assert engine.now == 9
+
+    def test_max_events_truncation_keeps_same_cycle_continuations(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.after(0, lambda: order.append("chained"))
+
+        engine.at(3, first)
+        engine.at(3, lambda: order.append("second"))
+        engine.run(max_events=1)
+        # only the first event ran; both the pre-scheduled same-cycle event
+        # and the continuation it appended are still pending, in order
+        assert order == ["first"]
+        assert engine.now == 3
+        engine.run()
+        assert order == ["first", "second", "chained"]
+
+    def test_same_cycle_events_scheduled_during_dispatch_run_fifo(self):
+        engine = Engine()
+        order = []
+
+        def outer(tag):
+            order.append(tag)
+            engine.after(0, lambda: order.append(f"{tag}-after0"))
+            engine.at(engine.now, lambda: order.append(f"{tag}-atnow"))
+
+        engine.at(5, lambda: outer("x"))
+        engine.at(5, lambda: outer("y"))
+        engine.run()
+        # continuations land at the tail of the in-flight batch, in
+        # scheduling order, after all previously queued same-cycle events
+        assert order == [
+            "x", "y", "x-after0", "x-atnow", "y-after0", "y-atnow",
+        ]
+        assert engine.now == 5
+
+    def test_reentrant_run_raises(self):
+        engine = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as error:
+                errors.append(str(error))
+
+        engine.at(1, reenter)
+        engine.run()
+        assert len(errors) == 1
+        assert "re-entrant" in errors[0]
+        # the outer run survives the rejected re-entry
+        engine.at(2, lambda: None)
+        assert engine.run() == 2
+
+    def test_truncated_run_then_until_bound_does_not_skip_events(self):
+        engine = Engine()
+        seen = []
+        engine.at(4, lambda: seen.append("a"))
+        engine.at(4, lambda: seen.append("b"))
+        engine.run(max_events=1)
+        assert engine.now == 4 and seen == ["a"]
+        # a bounded run past the truncation point first drains the tail
+        engine.run(until=10)
+        assert seen == ["a", "b"]
+        assert engine.now == 10
+
+
 class TestServer:
     def test_single_capacity_serialises(self):
         engine = Engine()
@@ -159,6 +246,31 @@ class TestServer:
         assert not hasattr(Server(engine, "s"), "__dict__")
         assert not hasattr(CreditStore(engine, "c"), "__dict__")
 
+    def test_occupy_vacate_matches_submit_statistics(self):
+        """Direct occupancy (grouped transfers) accounts like a zero-wait job."""
+        engine = Engine()
+        via_submit = Server(engine, "a")
+        via_occupy = Server(engine, "b")
+        via_submit.submit(10, lambda: None)
+        via_occupy.occupy(10)
+        engine.after(10, via_occupy.vacate)
+        engine.run()
+        for field in ("jobs_served", "total_wait", "total_service"):
+            assert getattr(via_submit, field) == getattr(via_occupy, field)
+        assert via_submit.utilization_time == via_occupy.utilization_time
+
+    def test_vacate_starts_queued_jobs(self):
+        engine = Engine()
+        server = Server(engine, "s", capacity=1)
+        done = []
+        server.occupy(5)
+        server.submit(3, lambda: done.append(engine.now))
+        assert server.queue_length == 1
+        engine.after(5, server.vacate)
+        engine.run()
+        assert done == [8]
+        assert server.total_wait == 5
+
 
 class TestCreditStore:
     def test_acquire_available_credit_immediately(self):
@@ -198,6 +310,25 @@ class TestCreditStore:
         store = CreditStore(engine, "c", initial=1)
         with pytest.raises(SimulationError):
             store.release(-1)
+
+
+class TestSlotsAndAccounting:
+    def test_barrier_uses_slots(self):
+        assert not hasattr(Barrier(1, lambda: None), "__dict__")
+
+    def test_credit_store_wait_accounting_is_inline(self):
+        """Wait times ride the waiter entries — no parallel bookkeeping deque."""
+        engine = Engine()
+        store = CreditStore(engine, "c", initial=0)
+        assert not hasattr(store, "_wait_since")
+        granted = []
+        store.acquire(lambda: granted.append(engine.now))
+        store.acquire(lambda: granted.append(engine.now))
+        engine.at(4, lambda: store.release())
+        engine.at(9, lambda: store.release())
+        engine.run()
+        assert granted == [4, 9]
+        assert store.total_wait == 4 + 9
 
 
 class TestBarrier:

@@ -1,0 +1,281 @@
+"""Equivalence tests for the steady-state fast-forward (repro.sim.steady_state).
+
+The acceptance contract of the fast-forward is *bit-identical results*: for
+every workload, ``simulate(fast_forward=True)`` must return exactly what the
+full event-driven run returns — makespan, traffic counters, steady-state
+cycles/job, per-cluster activity, per-link busy cycles and the full
+per-stage completion traces — whether the fast-forward engaged (periodic
+pipeline, extrapolated) or fell back (non-periodic, full run).  Engagement
+itself is asserted for the workloads whose periodicity is known, so the
+equivalence assertions cannot silently pass through fallback alone.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.scenarios import (
+    ArtifactCache,
+    Scenario,
+    graph_stage,
+    mapping_stage,
+    run_scenario,
+    workload_stage,
+)
+from repro.sim import DataFlow, StageCost, StageDescriptor, Workload, simulate
+from repro.sim.steady_state import MIN_JOBS, fast_forward_simulate
+from repro.sim.system import SimulationResult
+
+
+# --------------------------------------------------------------------------- #
+# Workload builders
+# --------------------------------------------------------------------------- #
+def _chain(
+    n_stages=4,
+    n_jobs=96,
+    analog=400,
+    bytes_per_job=2048,
+    replication=1,
+    storage=False,
+    storage_cluster=60,
+):
+    """A synthetic pipeline: equal-cost analog stages, optional residual."""
+    stages = []
+    for i in range(n_stages):
+        inputs = (
+            (DataFlow("hbm", bytes_per_job, label="in"),)
+            if i == 0
+            else (DataFlow("stage", bytes_per_job, stage_id=i - 1),)
+        )
+        outputs = (
+            (DataFlow("hbm", bytes_per_job, label="out"),)
+            if i == n_stages - 1
+            else (DataFlow("stage", bytes_per_job, stage_id=i + 1),)
+        )
+        if storage and i == 0:
+            outputs = outputs + (
+                DataFlow("storage", bytes_per_job, storage_cluster=storage_cluster,
+                         label="res", buffer_depth=4),
+            )
+        if storage and i == n_stages - 1:
+            inputs = inputs + (
+                DataFlow("storage", bytes_per_job, storage_cluster=storage_cluster,
+                         label="res", buffer_depth=4),
+            )
+        replicas = tuple((i * replication + r,) for r in range(replication))
+        stages.append(
+            StageDescriptor(
+                stage_id=i,
+                name=f"s{i}",
+                analog_replicas=replicas,
+                cost=StageCost(analog_cycles_per_job=analog, analog_macs_per_job=100),
+                inputs=inputs,
+                outputs=outputs,
+            )
+        )
+    return Workload(
+        "chain",
+        stages,
+        n_jobs=n_jobs,
+        batch_size=max(1, n_jobs // 4),
+        tiles_per_image=4,
+        total_macs=100 * n_jobs * n_stages,
+    )
+
+
+def _zoo_workload(
+    model, input_shape, level, batch_size, n_clusters, num_classes=None, crossbar=256
+):
+    scenario = Scenario(
+        model=model,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        batch_size=batch_size,
+        level=level,
+        n_clusters=n_clusters,
+        crossbar_size=crossbar,
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(graph, arch, scenario.batch_size, scenario.level_enum)
+    return arch, workload_stage(mapping)
+
+
+# --------------------------------------------------------------------------- #
+# Bit-identity assertion
+# --------------------------------------------------------------------------- #
+def assert_identical(full: SimulationResult, ff: SimulationResult) -> None:
+    """Every observable of the two results must match bit for bit."""
+    assert full.makespan_cycles == ff.makespan_cycles
+    assert full.jobs_completed == ff.jobs_completed
+    assert full.final_stage_completions == ff.final_stage_completions
+    assert full.steady_state_cycles_per_job() == ff.steady_state_cycles_per_job()
+    a, b = full.tracer, ff.tracer
+    assert (a.hbm_bytes, a.noc_bytes, a.noc_byte_hops, a.local_bytes, a.n_transfers) == (
+        b.hbm_bytes, b.noc_bytes, b.noc_byte_hops, b.local_bytes, b.n_transfers
+    )
+    assert a.makespan == b.makespan
+    assert sorted(a.clusters) == sorted(b.clusters)
+    for cid in a.clusters:
+        x, y = a.clusters[cid], b.clusters[cid]
+        assert (x.analog, x.digital, x.communication, x.synchronization,
+                x.jobs, x.last_busy_cycle) == (
+            y.analog, y.digital, y.communication, y.synchronization,
+            y.jobs, y.last_busy_cycle
+        ), f"cluster {cid}"
+    for sid in a.stages:
+        x, y = a.stages[sid], b.stages[sid]
+        assert (x.jobs_completed, x.analog_busy, x.digital_busy, x.input_stall,
+                x.output_stall, x.first_job_start, x.last_job_end) == (
+            y.jobs_completed, y.analog_busy, y.digital_busy, y.input_stall,
+            y.output_stall, y.first_job_start, y.last_job_end
+        ), f"stage {sid}"
+    assert dict(a.link_busy) == dict(b.link_busy)
+    assert {k: tuple(v) for k, v in a.stage_completions.items()} == {
+        k: tuple(v) for k, v in b.stage_completions.items()
+    }
+    # the record layer: identical except the provenance flag
+    full_record = dataclasses.asdict(full.record())
+    ff_record = dataclasses.asdict(ff.record())
+    assert full_record.pop("fast_forwarded") is False
+    ff_record.pop("fast_forwarded")
+    assert full_record == ff_record
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic pipelines: engagement across windows, alignment and fallbacks
+# --------------------------------------------------------------------------- #
+ARCH64 = ArchConfig.scaled(64)
+
+SYNTHETIC = [
+    # (name, workload, must_engage)
+    ("plain", _chain(), True),
+    ("odd-job-count", _chain(n_jobs=97), True),
+    ("replicated-w2", _chain(n_jobs=96, replication=2), True),
+    ("replicated-w3", _chain(n_jobs=90, replication=3), True),
+    ("residual-storage", _chain(n_jobs=96, storage=True), True),
+    # window 5 does not divide any aligned probe gap: exercises the
+    # re-probe-at-aligned-size path
+    ("replicated-w5-realign", _chain(n_jobs=120, replication=5), True),
+    # too small to amortise a probe: must fall back untouched
+    ("below-min-jobs", _chain(n_jobs=MIN_JOBS - 1), False),
+]
+
+
+class TestSyntheticPipelines:
+    @pytest.mark.parametrize(
+        "name,workload,must_engage",
+        SYNTHETIC,
+        ids=[case[0] for case in SYNTHETIC],
+    )
+    def test_fast_forward_is_bit_identical(self, name, workload, must_engage):
+        full = simulate(ARCH64, workload)
+        ff = simulate(ARCH64, workload, fast_forward=True)
+        assert not full.fast_forwarded
+        if must_engage:
+            assert ff.fast_forwarded, f"{name}: fast-forward failed to engage"
+        assert_identical(full, ff)
+
+    def test_fast_forward_false_never_probes(self):
+        result = simulate(ARCH64, _chain())
+        assert not result.fast_forwarded
+
+    def test_direct_api_returns_none_below_min_jobs(self):
+        assert fast_forward_simulate(ARCH64, _chain(n_jobs=8)) is None
+
+    def test_traces_cover_every_job_of_every_stage(self):
+        workload = _chain(n_jobs=96)
+        ff = simulate(ARCH64, workload, fast_forward=True)
+        assert ff.fast_forwarded
+        traces = ff.stage_completions
+        assert set(traces) == {stage.stage_id for stage in workload.stages}
+        for trace in traces.values():
+            assert len(trace) == workload.n_jobs
+            assert all(b >= a for a, b in zip(trace, trace[1:]))
+
+    def test_steady_state_metric_matches_trace_tail(self):
+        workload = _chain(n_jobs=96)
+        ff = simulate(ARCH64, workload, fast_forward=True)
+        final_trace = ff.completion_trace(workload.final_stage().stage_id)
+        assert ff.final_stage_completions == final_trace[-2:]
+        assert ff.steady_state_cycles_per_job() == float(
+            final_trace[-1] - final_trace[-2]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Model zoo: real lowered mappings
+# --------------------------------------------------------------------------- #
+ZOO = [
+    # (name, model, input_shape, level, batch, clusters, classes, crossbar,
+    #  must_engage)
+    # bottleneck-paced naive mappings are periodic from the first job
+    ("resnet18-naive", "resnet18", (3, 64, 64), "naive", 64, 256, None, 256, True),
+    ("linear-cnn-naive", "linear_cnn", (3, 32, 32), "naive", 64, 32, 10, 128, True),
+    # the final mapping's replica round-robin never settles into a short
+    # window: certification must refuse and fall back to the full run
+    ("tiny-final-fallback", "tiny_cnn", (3, 32, 32), "final", 64, 16, 10, 128, False),
+]
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize(
+        "name,model,shape,level,batch,clusters,classes,crossbar,must_engage",
+        ZOO,
+        ids=[case[0] for case in ZOO],
+    )
+    def test_fast_forward_matches_full_run(
+        self, name, model, shape, level, batch, clusters, classes, crossbar, must_engage
+    ):
+        arch, workload = _zoo_workload(
+            model, shape, level, batch, clusters, classes, crossbar
+        )
+        full = simulate(arch, workload)
+        ff = simulate(arch, workload, fast_forward=True)
+        if must_engage:
+            assert ff.fast_forwarded, f"{name}: fast-forward failed to engage"
+        assert_identical(full, ff)
+
+
+# --------------------------------------------------------------------------- #
+# Serialisation and scenario threading
+# --------------------------------------------------------------------------- #
+class TestIntegration:
+    def test_payload_round_trip_keeps_provenance_and_traces(self):
+        workload = _chain(n_jobs=96)
+        ff = simulate(ARCH64, workload, fast_forward=True)
+        assert ff.fast_forwarded
+        restored = SimulationResult.from_payload(ff.to_payload(), ARCH64, workload)
+        assert restored.fast_forwarded
+        assert restored.record() == ff.record()
+        assert restored.stage_completions == ff.stage_completions
+
+    def test_scenario_fast_forward_threads_to_record(self):
+        scenario = Scenario(
+            model="linear_cnn",
+            input_shape=(3, 32, 32),
+            num_classes=10,
+            batch_size=64,
+            level="naive",
+            n_clusters=32,
+            crossbar_size=128,
+            fast_forward=True,
+        )
+        outcome = run_scenario(scenario, ArtifactCache())
+        assert outcome.simulation.fast_forwarded
+        baseline = run_scenario(scenario.replace(fast_forward=False), ArtifactCache())
+        assert not baseline.simulation.fast_forwarded
+        ff_dict = dataclasses.asdict(outcome.simulation)
+        base_dict = dataclasses.asdict(baseline.simulation)
+        ff_dict.pop("fast_forwarded")
+        base_dict.pop("fast_forwarded")
+        assert ff_dict == base_dict
+        assert outcome.metrics == baseline.metrics
+
+    def test_fast_forward_keys_separately_in_the_cache(self):
+        from repro.scenarios.fingerprint import simulation_key
+
+        base = simulation_key("a", "w", True, 2)
+        assert simulation_key("a", "w", True, 2, fast_forward=True) != base
+        assert simulation_key("a", "w", True, 2, fast_forward=False) == base
