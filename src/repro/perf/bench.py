@@ -160,6 +160,7 @@ class BenchConfig:
         "sweep_persist",
         "accuracy_sweep",
         "sim_engine",
+        "sim_engine_array",
         "large_batch_sim",
     )
 
@@ -457,6 +458,44 @@ def bench_sim_engine(config: BenchConfig) -> Dict[str, float]:
     }
 
 
+def bench_sim_engine_array(config: BenchConfig) -> Dict[str, float]:
+    """Array-native kernel vs object kernel, head to head, same workload.
+
+    Both kernels simulate the FINAL ResNet-18 mapping (the ``final_mapping``
+    sizes) with contention on; the results are bit-identical (asserted in
+    ``tests/test_sim_kernel_equivalence.py``), so the only thing measured
+    is the kernel mechanism: flat busy-until vectors and typed drain rows
+    vs per-link servers and barriers.  Measuring both sides in the same
+    process makes ``speedup`` robust to host-speed drift between trajectory
+    points; ``array_s`` and ``python_s`` are also regression-gated
+    individually.
+    """
+    scenario = Scenario(
+        model="resnet18",
+        input_shape=config.sim_input,
+        batch_size=config.sim_batch,
+        level=OptimizationLevel.FINAL.value,
+        n_clusters=config.sim_clusters,
+        crossbar_size=config.sim_crossbar,
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(graph, arch, scenario.batch_size, scenario.level_enum)
+    workload = workload_stage(mapping)
+    results = {
+        "sim_engine_array.array_s": _time(
+            lambda: simulate(arch, workload, engine="array"), config.repeats
+        ),
+        "sim_engine_array.python_s": _time(
+            lambda: simulate(arch, workload, engine="python"), config.repeats
+        ),
+    }
+    results["sim_engine_array.speedup"] = (
+        results["sim_engine_array.python_s"] / results["sim_engine_array.array_s"]
+    )
+    return results
+
+
 def bench_large_batch_sim(config: BenchConfig) -> Dict[str, float]:
     """Batch-64 simulation: full event-driven run vs steady-state fast-forward.
 
@@ -502,6 +541,7 @@ SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "sweep_persist": bench_sweep_persist,
     "accuracy_sweep": bench_accuracy_sweep,
     "sim_engine": bench_sim_engine,
+    "sim_engine_array": bench_sim_engine_array,
     "large_batch_sim": bench_large_batch_sim,
 }
 
@@ -562,9 +602,14 @@ def compare_results(
         limit = IO_REGRESSION_THRESHOLD if key.endswith("_io_s") else threshold
         before, after = float(old[key]), float(new[key])
         if before > 0 and after > before * (1.0 + limit) + slack_s:
+            # each message is self-contained: the scenario, the metric, both
+            # values and the limit that was applied — a CI log line must be
+            # actionable without opening the trajectory files.
+            scenario = key.partition(".")[0]
             regressions.append(
-                f"{key}: {after * 1e3:.1f} ms vs {before * 1e3:.1f} ms "
-                f"(+{(after / before - 1.0) * 100.0:.0f}%)"
+                f"{key} (scenario {scenario!r}): "
+                f"new {after * 1e3:.1f} ms vs baseline {before * 1e3:.1f} ms "
+                f"(+{(after / before - 1.0) * 100.0:.0f}%, limit +{limit:.0%})"
             )
     return regressions
 

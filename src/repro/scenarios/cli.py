@@ -29,6 +29,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..sim.system import SIMULATION_ENGINES
 from .spec import load_spec
 from .store import ArtifactStore
 from .sweep import SweepResult, SweepRunner, default_cache
@@ -113,6 +114,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fast_forward = true in the spec's [base] table",
     )
     parser.add_argument(
+        "--engine",
+        choices=SIMULATION_ENGINES,
+        default=None,
+        help="pin the event kernel for every scenario (array: the "
+        "array-native kernel, the default; python: the object kernel — "
+        "bit-identical, kept for cross-checks) — equivalent to "
+        "engine = \"...\" in the spec's [base] table",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the expanded scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -122,6 +132,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenarios = grid.expand()
         if args.fast_forward:
             scenarios = [s.replace(fast_forward=True) for s in scenarios]
+        if args.engine is not None:
+            scenarios = [s.replace(engine=args.engine) for s in scenarios]
     except (TypeError, ValueError) as error:
         # SpecError (also from expanding invalid axis values), JSON/TOML
         # decode errors and badly-typed field values (all ValueError/

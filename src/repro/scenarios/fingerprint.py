@@ -234,6 +234,7 @@ def simulation_key(
     model_contention: bool,
     buffer_depth: int,
     fast_forward: bool = False,
+    engine: str = "array",
 ) -> str:
     """Key of a :class:`~repro.sim.system.SimulationResult`.
 
@@ -244,9 +245,23 @@ def simulation_key(
     the key even though fast-forwarded results are bit-identical on every
     metric: the persisted payload records the ``fast_forwarded`` provenance
     flag, and serving one mode's artifact to the other would misreport it.
+    ``engine`` (array vs python kernel) is likewise part of the key despite
+    bit-identical payloads: a sweep that pins the kernel must actually run
+    it — serving the other kernel's artifact would silently mask any
+    divergence the kernel-equivalence suite exists to catch.  Adding the
+    axis changes every simulation key once; historical artifacts miss
+    cleanly and are re-simulated.
     """
     return fingerprint(
-        ("simulate", arch_fp, workload_fp, model_contention, buffer_depth, fast_forward)
+        (
+            "simulate",
+            arch_fp,
+            workload_fp,
+            model_contention,
+            buffer_depth,
+            fast_forward,
+            engine,
+        )
     )
 
 

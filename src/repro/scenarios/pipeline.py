@@ -232,6 +232,7 @@ def simulation_stage(
     model_contention: bool = True,
     buffer_depth: int = 2,
     fast_forward: bool = False,
+    engine: str = "array",
     cache: Optional[ArtifactCache] = None,
 ) -> SimulationResult:
     """Simulate (or reuse) one workload on one architecture.
@@ -244,7 +245,10 @@ def simulation_stage(
     ``fast_forward`` enables the exact steady-state fast-forward
     (:mod:`repro.sim.steady_state`); it changes how the result is computed,
     never its metrics, but keys separately so the persisted
-    ``fast_forwarded`` provenance flag stays truthful.
+    ``fast_forwarded`` provenance flag stays truthful.  ``engine`` selects
+    the event kernel (array-native vs object); the kernels are
+    bit-identical but key separately so a pinned-kernel sweep really
+    exercises the kernel it pinned.
     """
     if cache is None:
         return simulate(
@@ -253,6 +257,7 @@ def simulation_stage(
             model_contention=model_contention,
             buffer_depth=buffer_depth,
             fast_forward=fast_forward,
+            engine=engine,
         )
     key = simulation_key(
         arch_key(arch),
@@ -260,6 +265,7 @@ def simulation_stage(
         model_contention,
         buffer_depth,
         fast_forward,
+        engine,
     )
     return cache.get_or_create(
         ArtifactCache.REGION_SIMULATION,
@@ -270,6 +276,7 @@ def simulation_stage(
             model_contention=model_contention,
             buffer_depth=buffer_depth,
             fast_forward=fast_forward,
+            engine=engine,
         ),
         persist=True,
         dump=lambda result: result.to_payload(),
@@ -562,6 +569,7 @@ def run_scenario(
         model_contention=scenario.model_contention,
         buffer_depth=scenario.buffer_depth,
         fast_forward=scenario.fast_forward,
+        engine=scenario.engine,
         cache=cache,
     )
     metrics = compute_metrics(result, mapping, name=scenario.label)

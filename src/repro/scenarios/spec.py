@@ -58,6 +58,7 @@ from ..arch.config import ArchConfig
 from ..core.optimizer import OptimizationLevel
 from ..dnn import models as model_zoo
 from ..dnn.graph import Graph
+from ..sim.system import SIMULATION_ENGINES
 
 
 class SpecError(ValueError):
@@ -277,6 +278,13 @@ class Scenario:
     #: flag is still part of the simulation cache key because the record
     #: carries the ``fast_forwarded`` provenance marker.
     fast_forward: bool = False
+    #: which event-kernel implementation runs the simulation stage:
+    #: ``"array"`` (the array-native kernel, default) or ``"python"`` (the
+    #: object kernel).  The two are bit-identical, so this is a performance
+    #: axis; it is still part of the simulation cache key so a sweep that
+    #: pins it never reuses the other kernel's artifacts (which would mask
+    #: any divergence the equivalence suite is meant to catch).
+    engine: str = "array"
     # -- accuracy axis: functional execution of the network ---------------- #
     #: when set, the scenario additionally runs the accuracy stage
     #: (functional execution vs the digital reference) with this backend/
@@ -309,6 +317,11 @@ class Scenario:
             raise SpecError("n_clusters must be positive when given")
         if self.buffer_depth <= 0:
             raise SpecError("buffer_depth must be positive")
+        if self.engine not in SIMULATION_ENGINES:
+            raise SpecError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"expected one of {SIMULATION_ENGINES}"
+            )
         if self.execution is not None and not isinstance(self.execution, ExecutionSpec):
             object.__setattr__(self, "execution", ExecutionSpec.coerce(self.execution))
 

@@ -1,11 +1,20 @@
 """Event-driven system simulator (the GVSOC substitute)."""
 
 from .cluster_model import ClusterModel, L1OverflowError
+from .compare import assert_results_identical, result_mismatches
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
+from .engine_array import BATCH_MIN, ArrayEngine, K_DMA_START, K_TRANSFER_DRAIN, ROW_DTYPE
 from .ima_model import IMAJob, IMATimingModel
 from .noc import LinkPool, NocModel, TransferRequest
+from .noc_array import ArrayNocModel
 from .steady_state import fast_forward_simulate
-from .system import SimulationRecord, SimulationResult, SystemSimulator, simulate
+from .system import (
+    SIMULATION_ENGINES,
+    SimulationRecord,
+    SimulationResult,
+    SystemSimulator,
+    simulate,
+)
 from .tracer import CATEGORIES, ClusterActivity, StageActivity, Tracer
 from .workload import (
     DataFlow,
@@ -18,6 +27,9 @@ from .workload import (
 )
 
 __all__ = [
+    "ArrayEngine",
+    "ArrayNocModel",
+    "BATCH_MIN",
     "Barrier",
     "CATEGORIES",
     "ClusterActivity",
@@ -30,9 +42,13 @@ __all__ = [
     "Engine",
     "IMAJob",
     "IMATimingModel",
+    "K_DMA_START",
+    "K_TRANSFER_DRAIN",
     "L1OverflowError",
     "LinkPool",
     "NocModel",
+    "ROW_DTYPE",
+    "SIMULATION_ENGINES",
     "Server",
     "SimulationError",
     "SimulationRecord",
@@ -44,6 +60,8 @@ __all__ = [
     "Tracer",
     "TransferRequest",
     "Workload",
+    "assert_results_identical",
     "fast_forward_simulate",
+    "result_mismatches",
     "simulate",
 ]

@@ -25,6 +25,13 @@ timestamp and a heap of the timestamps themselves, so a cascade of
 job start chains) costs one list append each instead of a heap push/pop
 pair, and draining ``k`` events that share a timestamp touches the heap
 once, not ``k`` times.
+
+:class:`~repro.sim.engine_array.ArrayEngine` subclasses this kernel with a
+typed, columnar event lane (integer row indices in the buckets instead of
+closures) and batch dispatch of same-cycle rows; it is the default engine
+of :func:`repro.sim.system.simulate` and must stay bit-identical to this
+one (``tests/test_sim_kernel_equivalence.py``).  Any change to the
+dispatch contract here must be mirrored there.
 """
 
 from __future__ import annotations

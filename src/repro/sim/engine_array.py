@@ -1,0 +1,305 @@
+"""Array-native discrete-event kernel: typed event rows + batch dispatch.
+
+The object kernel (:mod:`repro.sim.engine`) dispatches every event as a
+Python callable.  Profiling the FINAL-mapping run (see ``docs/simulator.md``
+and ``python -m repro.perf.bench --profile``) shows the hot interior is not
+the *callbacks* but the *bookkeeping around them*: tens of thousands of
+per-link :class:`~repro.sim.engine.Server` jobs and barrier arrivals whose
+only purpose is to delay one completion callback by a statically known
+number of cycles.
+
+:class:`ArrayEngine` keeps the object kernel's bucketed queue (heap of
+distinct timestamps, FIFO list per timestamp, zero-heap same-cycle lane)
+and its exact dispatch contract, but adds a **typed event lane**: an event
+may be a plain callable *or* an integer row index into a columnar
+(structure-of-arrays) table of pending typed events::
+
+    kind      int   event kind (K_TRANSFER_DRAIN, K_DMA_START)
+    cycles    int   payload: cycles to defer the callback by at dispatch
+    callback  obj   the completion callback
+
+A typed row costs one ``int`` in the bucket instead of a server job, a
+barrier and a bound-method event; dispatching it schedules ``callback``
+``cycles`` after the row's own timestamp.  Rows that land in the same
+cycle form homogeneous sub-batches: :meth:`ArrayEngine.run` gathers runs
+of consecutive rows out of the bucket and computes their target times in
+bulk (vectorized through numpy once a run is long enough to amortise the
+array round-trip, a measured crossover — tiny runs stay scalar, which is
+faster below :data:`BATCH_MIN` rows).
+
+The lane exists for the clients in :mod:`repro.sim.noc_array` and
+:mod:`repro.sim.system`, which replace per-link/per-DMA-slot ``Server``
+objects with flat busy-until vectors indexed by resource id and emit one
+typed row per transfer instead of one job per resource.  Everything the
+object kernel guarantees — FIFO within a timestamp, same-cycle appends at
+the tail of the in-flight batch, exact ``max_events`` truncation with
+in-order resume, non-re-entrancy — holds unchanged; the bit-identity
+harness in ``tests/test_sim_kernel_equivalence.py`` is the acceptance
+gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .engine import Engine, SimulationError
+
+Callback = Callable[[], None]
+
+#: typed event kinds.  ``K_TRANSFER_DRAIN`` rows are scheduled at a NoC
+#: transfer's link-drain cycle and defer the delivery callback by the
+#: route's hop latency; ``K_DMA_START`` rows are scheduled at a queued DMA
+#: job's service-start cycle and defer its completion by the job duration
+#: (mirroring where the object kernel's ``Server._start_queued`` inserts
+#: the finish event).
+K_TRANSFER_DRAIN = 0
+K_DMA_START = 1
+
+#: structured dtype of one typed event row (the callback rides a parallel
+#: object column; see :meth:`ArrayEngine.pending_rows`).
+ROW_DTYPE = np.dtype([("kind", np.int8), ("cycles", np.int64)])
+
+#: minimum length of a same-cycle run of typed rows for which the numpy
+#: bulk target computation beats the scalar loop (measured on the
+#: FINAL-mapping workload; below this the array round-trip dominates).
+BATCH_MIN = 8
+
+
+class ArrayEngine(Engine):
+    """Event queue with a typed, columnar event lane.
+
+    A drop-in :class:`~repro.sim.engine.Engine`: ``at``/``after``/``run``
+    keep their exact semantics for callable events, and the object-kernel
+    primitives (:class:`~repro.sim.engine.Server`,
+    :class:`~repro.sim.engine.CreditStore`) run on it unchanged.  The
+    additional :meth:`defer_at` entry point schedules typed rows.
+    """
+
+    __slots__ = ("_row_kind", "_row_cycles", "_row_callback", "_free_rows")
+
+    def __init__(self):
+        super().__init__()
+        # columnar row storage (structure-of-arrays); rows are single-use
+        # and recycled through a free list so the table stays dense.
+        self._row_kind: List[int] = []
+        self._row_cycles: List[int] = []
+        self._row_callback: List[Optional[Callback]] = []
+        self._free_rows: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Typed event lane
+    # ------------------------------------------------------------------ #
+    def defer_at(
+        self, time: int, cycles: int, callback: Callback, kind: int = K_TRANSFER_DRAIN
+    ) -> None:
+        """Schedule a typed row: at ``time``, defer ``callback`` by ``cycles``.
+
+        Equivalent to ``at(time, lambda: after(cycles, callback))`` without
+        the closure or the intermediate dispatch: the row is one integer in
+        the bucket and the deferral arithmetic happens during (possibly
+        batched) row dispatch.  ``callback`` therefore lands in bucket
+        ``time + cycles`` *at simulated time* ``time`` — the same insertion
+        point the object kernel's server-finish events use, which is what
+        keeps the two kernels' event orders aligned.
+        """
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        if cycles < 0:
+            raise SimulationError(f"deferral cannot be negative, got {cycles}")
+        free = self._free_rows
+        if free:
+            row = free.pop()
+            self._row_kind[row] = kind
+            self._row_cycles[row] = int(cycles)
+            self._row_callback[row] = callback
+        else:
+            row = len(self._row_kind)
+            self._row_kind.append(kind)
+            self._row_cycles.append(int(cycles))
+            self._row_callback.append(callback)
+        if time == self._now and self._active is not None:
+            self._active.append(row)
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [row]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(row)
+
+    def pending_rows(self) -> np.ndarray:
+        """Live typed rows as a structured array (kind, cycles) — diagnostic."""
+        free = set(self._free_rows)
+        live = [
+            (self._row_kind[i], self._row_cycles[i])
+            for i in range(len(self._row_kind))
+            if i not in free and self._row_callback[i] is not None
+        ]
+        return np.array(live, dtype=ROW_DTYPE)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch_row(self, row: int) -> None:
+        """Dispatch one typed row at the current time (the bounded path)."""
+        cycles = self._row_cycles[row]
+        callback = self._row_callback[row]
+        self._row_callback[row] = None
+        self._free_rows.append(row)
+        time = self._now + cycles
+        if cycles == 0:
+            active = self._active
+            if active is not None:
+                active.append(callback)
+                return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [callback]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
+
+    def _dispatch_run(self, rows: List[int]) -> None:
+        """Dispatch a homogeneous sub-batch of same-cycle typed rows.
+
+        Target times are computed in bulk — vectorized via numpy when the
+        run is long enough to pay for the array round-trip — and every
+        row's callback is inserted at its target bucket in row order
+        (identical to dispatching the rows one by one).
+        """
+        now = self._now
+        row_cycles = self._row_cycles
+        if len(rows) >= BATCH_MIN:
+            targets = now + np.fromiter(
+                (row_cycles[r] for r in rows), dtype=np.int64, count=len(rows)
+            )
+            target_list = targets.tolist()
+        else:
+            target_list = [now + row_cycles[r] for r in rows]
+        row_callback = self._row_callback
+        free = self._free_rows
+        buckets = self._buckets
+        times = self._times
+        active = self._active
+        for row, time in zip(rows, target_list):
+            callback = row_callback[row]
+            row_callback[row] = None
+            free.append(row)
+            if time == now and active is not None:
+                active.append(callback)
+                continue
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [callback]
+                heapq.heappush(times, time)
+            else:
+                bucket.append(callback)
+
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``until`` / ``max_events`` is hit).
+
+        Same contract as :meth:`repro.sim.engine.Engine.run` — including
+        mid-batch ``max_events`` truncation with in-order resume and
+        non-re-entrancy — extended to typed rows, each of which counts as
+        one event.  Under a ``max_events`` bound rows are dispatched one at
+        a time so a truncation can land *between* rows of a run; the
+        unbounded hot loop gathers runs and batch-dispatches them.
+        """
+        if self._running:
+            raise SimulationError(
+                "Engine.run() is not re-entrant: it was called from inside "
+                "an event callback while a run is already in progress"
+            )
+        if until is not None and until < self._now:
+            return self._now
+        self._running = True
+        processed = 0
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        try:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heappop(times)
+                bucket = buckets.pop(time)
+                self._now = time
+                self._active = bucket
+                index = 0
+                try:
+                    if max_events is None:
+                        # hot loop: the batch may grow while it drains, so
+                        # iterate by index; consecutive typed rows form a
+                        # homogeneous sub-batch dispatched in bulk.
+                        while True:
+                            try:
+                                entry = bucket[index]
+                            except IndexError:
+                                break
+                            index += 1
+                            if type(entry) is int:
+                                # single rows dominate many workloads (a
+                                # drain row shares its cycle with callables
+                                # more often than with other rows), so the
+                                # run list is only built once a second
+                                # consecutive row is seen.
+                                try:
+                                    nxt = bucket[index]
+                                except IndexError:
+                                    nxt = None
+                                if type(nxt) is not int:
+                                    self._dispatch_row(entry)
+                                    processed += 1
+                                    continue
+                                run_rows = [entry, nxt]
+                                index += 1
+                                while True:
+                                    try:
+                                        nxt = bucket[index]
+                                    except IndexError:
+                                        break
+                                    if type(nxt) is not int:
+                                        break
+                                    run_rows.append(nxt)
+                                    index += 1
+                                self._dispatch_run(run_rows)
+                                processed += len(run_rows)
+                            else:
+                                entry()
+                                processed += 1
+                    else:
+                        while index < len(bucket):
+                            entry = bucket[index]
+                            index += 1
+                            if type(entry) is int:
+                                self._dispatch_row(entry)
+                            else:
+                                entry()
+                            processed += 1
+                            if processed >= max_events:
+                                break
+                finally:
+                    self._active = None
+                    if index < len(bucket):
+                        # truncated mid-batch (max_events, or a callback
+                        # raised): requeue the unprocessed tail — callables
+                        # and typed rows alike — so a later run() resumes
+                        # in order.
+                        buckets[time] = bucket[index:]
+                        heapq.heappush(times, time)
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and not times and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            self._active = None
+            self._events_processed += processed
+        return self._now

@@ -1,0 +1,243 @@
+"""Array-native NoC model: flat busy-until vectors instead of link servers.
+
+:class:`~repro.sim.noc.NocModel` models every directed link as a capacity-1
+:class:`~repro.sim.engine.Server`; a contended transfer over a ``k``-link
+route costs ``k`` server jobs, ``k`` finish events and a ``k+1``-way
+barrier.  But a capacity-1 FIFO server with durations fixed at submission
+is *deterministic*: the cycle at which it drains a new job is::
+
+    drain = max(now, busy_until[link]) + serialization
+    busy_until[link] = drain
+
+so the whole per-link machinery collapses into flat integer vectors
+indexed by a dense link id — one busy-until vector (the queue state), one
+accumulated-busy vector and one job counter (the statistics).  A transfer
+updates the vector entries of its route in one pass, takes the maximum
+drain cycle, and schedules a *single* typed row
+(:data:`~repro.sim.engine_array.K_TRANSFER_DRAIN`) on the
+:class:`~repro.sim.engine_array.ArrayEngine`: at the drain cycle the
+delivery callback is deferred by the route's hop latency — exactly the
+simulated time at which the object kernel's last link-finish event (or
+the uncontended :class:`~repro.sim.noc._TransferGroup` drain) fires it.
+
+HBM channels stay genuine :class:`~repro.sim.engine.Server` objects: the
+round-robin channel pick reads ``in_service``/``queue_length`` *at event
+time*, and that visibility (a channel freed in the current cycle is seen
+busy or idle depending on event order within the cycle) is part of the
+object kernel's observable behaviour.  Channel jobs are two orders of
+magnitude rarer than link jobs, so keeping them object-backed costs
+little and removes the one place where busy-until arithmetic could
+diverge from the object kernel.  Bit-identity of the two kernels over
+mappings, contention modes and the fast-forward suite is asserted in
+``tests/test_sim_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import ArchConfig
+from .engine import Barrier, Callback
+from .engine_array import ArrayEngine, K_TRANSFER_DRAIN
+from .noc import NocModel
+from .tracer import Tracer
+
+
+class _RoutePlan:
+    """Precomputed per-(src, dst) transfer plan: link ids + route constants.
+
+    Resolving the route, assigning dense link ids and reading the route's
+    width/latency happens once per endpoint pair; the per-transfer hot
+    path is then a dict hit plus integer arithmetic.
+    """
+
+    __slots__ = (
+        "link_ids",
+        "link_names",
+        "link_pairs",
+        "n_hops",
+        "hop_latency",
+        "min_width_bytes",
+        "involves_hbm",
+        "cycles_memo",
+    )
+
+    def __init__(
+        self,
+        link_ids: Tuple[int, ...],
+        link_names: Tuple[str, ...],
+        n_hops: int,
+        hop_latency: int,
+        min_width_bytes: int,
+        involves_hbm: bool,
+    ):
+        self.link_ids = link_ids
+        self.link_names = link_names
+        #: (dense id, name) per link, so the contended hot loop updates the
+        #: busy-until vectors and the tracer's per-link dict in one pass.
+        self.link_pairs = tuple(zip(link_ids, link_names))
+        self.n_hops = n_hops
+        self.hop_latency = hop_latency
+        self.min_width_bytes = min_width_bytes
+        self.involves_hbm = involves_hbm
+        #: n_bytes -> (serialization, hbm_extra); transfer sizes repeat
+        #: heavily (chunked sends), so the per-size cycle math is memoized.
+        self.cycles_memo: Dict[int, Tuple[int, int]] = {}
+
+
+class ArrayNocModel(NocModel):
+    """NoC model whose link state lives in flat per-link-id vectors.
+
+    Public behaviour (transfer timing, tracer records, statistics
+    accessors) is identical to :class:`~repro.sim.noc.NocModel`; only the
+    mechanism differs.  Requires an :class:`ArrayEngine` for the typed
+    drain rows.
+    """
+
+    def __init__(
+        self,
+        engine: ArrayEngine,
+        arch: ArchConfig,
+        tracer: Optional[Tracer] = None,
+        model_contention: bool = True,
+    ):
+        super().__init__(engine, arch, tracer=tracer, model_contention=model_contention)
+        #: dense link id per directed link name, assigned at first use in
+        #: route order (matching the order the object kernel first touches
+        #: links, which keeps ``link_busy_cycles`` key order aligned).
+        self._link_ids: Dict[str, int] = {}
+        #: cycle until which each link is draining already-accepted bursts
+        #: (the entire FIFO queue state of a capacity-1 server).
+        self._link_busy_until: List[int] = []
+        #: accumulated busy cycles per link (``Server.utilization_time``).
+        self._link_busy_cycles: List[int] = []
+        #: bursts carried per link (``Server.jobs_served``).
+        self._link_jobs: List[int] = []
+        #: per-(src, dst) transfer plans as nested dicts (src -> dst ->
+        #: plan): two monomorphic dict hits beat building and hashing a
+        #: key tuple on every transfer.  Endpoints are cluster ids or
+        #: ``None`` for the HBM, so the key space is small and stable.
+        self._plans: Dict[Optional[int], Dict[Optional[int], _RoutePlan]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _make_plan(self, src: Optional[int], dst: Optional[int]) -> _RoutePlan:
+        topology = self.topology
+        if src is None:
+            route = topology.route_from_hbm(dst)  # type: ignore[arg-type]
+            involves_hbm = True
+        elif dst is None:
+            route = topology.route_to_hbm(src)
+            involves_hbm = True
+        else:
+            route = topology.route(src, dst)
+            involves_hbm = False
+        link_ids = self._link_ids
+        ids: List[int] = []
+        for name in route.links:
+            lid = link_ids.get(name)
+            if lid is None:
+                lid = len(link_ids)
+                link_ids[name] = lid
+                self._link_busy_until.append(0)
+                self._link_busy_cycles.append(0)
+                self._link_jobs.append(0)
+            ids.append(lid)
+        plan = _RoutePlan(
+            tuple(ids),
+            route.links,
+            route.n_hops,
+            route.hop_latency_cycles,
+            route.min_width_bytes,
+            involves_hbm,
+        )
+        self._plans.setdefault(src, {})[dst] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def transfer_bytes(
+        self,
+        src: Optional[int],
+        dst: Optional[int],
+        n_bytes: int,
+        on_done: Callback,
+    ) -> None:
+        """Array-path transfer: bulk busy-until update + one typed drain row."""
+        if n_bytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        if n_bytes == 0 or src == dst:
+            if src is None and dst is None:
+                raise ValueError("a transfer needs at least one on-chip endpoint")
+            self.tracer.record_transfer(n_bytes, 0, local=True)
+            self.engine.after(0, on_done)
+            return
+        by_dst = self._plans.get(src)
+        plan = by_dst.get(dst) if by_dst is not None else None
+        if plan is None:
+            plan = self._make_plan(src, dst)
+        memo = plan.cycles_memo.get(n_bytes)
+        if memo is None:
+            serialization = -(-n_bytes // plan.min_width_bytes)
+            hbm_extra = 0
+            if plan.involves_hbm:
+                hbm_extra = self.arch.hbm.service_cycles(n_bytes) - serialization
+            plan.cycles_memo[n_bytes] = (serialization, hbm_extra)
+        else:
+            serialization, hbm_extra = memo
+        # inlined Tracer.record_transfer (same state updates): this is the
+        # single hottest tracer call of a transfer-heavy run, and the
+        # arguments are pre-validated ints here.
+        tracer = self.tracer
+        tracer.n_transfers += 1
+        tracer.noc_bytes += n_bytes
+        tracer.noc_byte_hops += n_bytes * plan.n_hops
+        if plan.involves_hbm:
+            tracer.hbm_bytes += n_bytes
+        link_busy = tracer.link_busy
+        engine = self.engine
+        if not self.model_contention:
+            for name in plan.link_names:
+                link_busy[name] += serialization
+            engine.after(plan.hop_latency + serialization + hbm_extra, on_done)
+            return
+        # bulk update of the route's busy-until entries: every link drains
+        # this burst ``serialization`` cycles after it finishes whatever it
+        # already accepted (or now, if idle); the transfer's link phase
+        # ends when the slowest link drains.  The tracer's per-link busy
+        # dict rides the same pass.
+        now = engine._now
+        busy_until = self._link_busy_until
+        busy_cycles = self._link_busy_cycles
+        jobs = self._link_jobs
+        drain = now
+        for lid, name in plan.link_pairs:
+            link_busy[name] += serialization
+            queued = busy_until[lid]
+            end = (queued if queued > now else now) + serialization
+            busy_until[lid] = end
+            busy_cycles[lid] += serialization
+            jobs[lid] += 1
+            if end > drain:
+                drain = end
+        if plan.involves_hbm:
+            # the HBM channel stays a real Server (see the module
+            # docstring); links and channel join on a 2-way barrier, as on
+            # the object kernel's contended path.
+            channel = self._pick_hbm_channel()
+            hop_latency = plan.hop_latency
+
+            def all_drained() -> None:
+                engine.after(hop_latency, on_done)
+
+            barrier = Barrier(2, all_drained)
+            engine.at(drain, barrier.arrive)
+            channel.submit(serialization + hbm_extra, barrier.arrive)
+        else:
+            engine.defer_at(drain, plan.hop_latency, on_done, kind=K_TRANSFER_DRAIN)
+
+    # ------------------------------------------------------------------ #
+    # Statistics (same shape as the object model's accessors)
+    # ------------------------------------------------------------------ #
+    def link_busy_cycles(self) -> Dict[str, int]:
+        """Busy cycles of every link that carried traffic."""
+        busy = self._link_busy_cycles
+        return {name: busy[lid] for name, lid in self._link_ids.items()}

@@ -75,12 +75,13 @@ class _ProbeSimulator(SystemSimulator):
     call of the final stage), so window-to-window comparisons are exact.
     """
 
-    def __init__(self, arch, workload, model_contention, buffer_depth):
+    def __init__(self, arch, workload, model_contention, buffer_depth, engine="array"):
         super().__init__(
             arch,
             workload,
             model_contention=model_contention,
             buffer_depth=buffer_depth,
+            engine=engine,
         )
         self._final_stage_id = workload.final_stage().stage_id
         #: (now, hbm_bytes, noc_bytes, noc_byte_hops, local_bytes, n_transfers)
@@ -356,10 +357,15 @@ def _probe_size(n: int, align: int, target: int) -> int:
 
 
 def _run_probe(
-    arch: ArchConfig, workload: Workload, b: int, model_contention: bool, buffer_depth: int
+    arch: ArchConfig,
+    workload: Workload,
+    b: int,
+    model_contention: bool,
+    buffer_depth: int,
+    engine: str,
 ) -> Tuple[_ProbeSimulator, SimulationResult]:
     probe = _ProbeSimulator(
-        arch, workload.with_n_jobs(b), model_contention, buffer_depth
+        arch, workload.with_n_jobs(b), model_contention, buffer_depth, engine
     )
     return probe, probe.run()
 
@@ -369,6 +375,7 @@ def fast_forward_simulate(
     workload: Workload,
     model_contention: bool = True,
     buffer_depth: int = 2,
+    engine: str = "array",
 ) -> Optional[SimulationResult]:
     """Simulate ``workload`` via steady-state fast-forward, if certifiable.
 
@@ -376,7 +383,9 @@ def fast_forward_simulate(
     the full event-driven run, with ``fast_forwarded=True`` — or ``None``
     when the workload is too small to be worth probing or its steady state
     cannot be certified, in which case the caller should run the full
-    simulation.
+    simulation.  The probe runs on the kernel selected by ``engine``, so a
+    fast-forwarded result has the same provenance guarantees as a full run
+    on that kernel (and the kernels are bit-identical anyway).
     """
     n = workload.n_jobs
     if n < MIN_JOBS:
@@ -394,7 +403,9 @@ def fast_forward_simulate(
         b = _probe_size(n, PROBE_ALIGN, target)
         if b >= n or b > n // 2:
             break
-        probe, result = _run_probe(arch, workload, b, model_contention, buffer_depth)
+        probe, result = _run_probe(
+            arch, workload, b, model_contention, buffer_depth, engine
+        )
         probes_run += 1
         if not result.completed:
             return None
@@ -413,7 +424,7 @@ def fast_forward_simulate(
             b2 = n - window * ((n - target) // window)
             if b2 < n and b2 != b and b2 <= n // 2:
                 probe, result = _run_probe(
-                    arch, workload, b2, model_contention, buffer_depth
+                    arch, workload, b2, model_contention, buffer_depth, engine
                 )
                 if result.completed:
                     plan = _analyze(probe, result, window)

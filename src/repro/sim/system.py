@@ -26,7 +26,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..arch.config import ArchConfig
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
+from .engine_array import ArrayEngine, K_DMA_START
 from .noc import NocModel
+from .noc_array import ArrayNocModel
 from .tracer import Tracer
 from .workload import (
     DataFlow,
@@ -42,8 +44,17 @@ from .workload import (
 #: change to the payload structure or to the simulator semantics the
 #: payload freezes; loaders reject mismatched payloads and re-simulate.
 #: Version 2: per-stage completion traces ride the tracer and the payload
-#: carries the ``fast_forwarded`` flag.
+#: carries the ``fast_forwarded`` flag.  The ``engine`` selection (array
+#: vs python kernel) is deliberately *not* part of the payload and did not
+#: bump this version: the two kernels are bit-identical (asserted in
+#: ``tests/test_sim_kernel_equivalence.py``), so a payload carries no
+#: trace of which kernel produced it.
 SIMULATION_PAYLOAD_VERSION = 2
+
+#: valid values of the ``engine`` argument of :func:`simulate` /
+#: :class:`SystemSimulator`: the array-native kernel (default) and the
+#: original object kernel it is bit-identical to.
+SIMULATION_ENGINES = ("array", "python")
 
 
 @dataclass(frozen=True)
@@ -277,6 +288,11 @@ class _StageRuntime:
         )
         #: per-input-flow count of delivered jobs.
         self.delivered: List[int] = [0] * len(descriptor.inputs)
+        #: the descriptor's representative DMA cluster, resolved once —
+        #: ``StageDescriptor.io_cluster`` recomputes the sorted cluster set
+        #: on every access, and the routing hot path reads it per flow of
+        #: every job.
+        self.io_cluster = descriptor.io_cluster
         self.next_job = 0
         self.jobs_completed = 0
         self._digital_groups = self._partition_digital()
@@ -310,9 +326,10 @@ class _StageRuntime:
         self._try_start()
 
     def _inputs_ready(self, job_index: int) -> bool:
-        if not self.desc.inputs:
-            return True
-        return all(count > job_index for count in self.delivered)
+        for count in self.delivered:
+            if count <= job_index:
+                return False
+        return True
 
     def _try_start(self) -> None:
         while self.next_job < self.sim.workload.n_jobs and self._inputs_ready(self.next_job):
@@ -339,12 +356,12 @@ class _StageRuntime:
         self, job_index: int, start: int, duration: int, replica: Tuple[int, ...]
     ) -> None:
         now = self.sim.engine.now
+        record_analog_job = self.sim.tracer.record_analog_job
         for cluster in replica:
-            self.sim.tracer.record_cluster(cluster, "analog", duration, now)
-            self.sim.tracer.record_job(cluster)
+            record_analog_job(cluster, duration, now)
         intra = self.desc.cost.intra_stage_bytes_per_job
         if intra > 0 and self.desc.digital_clusters:
-            src = replica[0] if replica else self.desc.io_cluster
+            src = replica[0] if replica else self.io_cluster
             dst = self.desc.digital_clusters[0]
             self.sim.send_bytes(
                 src,
@@ -410,24 +427,45 @@ class SystemSimulator:
         workload: Workload,
         model_contention: bool = True,
         buffer_depth: int = 2,
+        engine: str = "array",
     ):
+        if engine not in SIMULATION_ENGINES:
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; "
+                f"expected one of {SIMULATION_ENGINES}"
+            )
         workload.validate(arch.n_clusters)
         self.arch = arch
         self.workload = workload
         self.buffer_depth = buffer_depth
-        self.engine = Engine()
+        self.engine_kind = engine
+        self._array_mode = engine == "array"
         self.tracer = Tracer()
-        self.noc = NocModel(
-            self.engine, arch, tracer=self.tracer, model_contention=model_contention
-        )
+        if self._array_mode:
+            self.engine: Engine = ArrayEngine()
+            self.noc: NocModel = ArrayNocModel(
+                self.engine, arch, tracer=self.tracer, model_contention=model_contention
+            )
+        else:
+            self.engine = Engine()
+            self.noc = NocModel(
+                self.engine, arch, tracer=self.tracer, model_contention=model_contention
+            )
         self.model_contention = model_contention
         self._dma_servers: Dict[int, Server] = {}
+        #: array-mode DMA lanes: per-cluster busy-until vector with one
+        #: entry per DMA channel (the flat-array replacement of the
+        #: per-cluster DMA :class:`Server`; see :meth:`_dma_submit`).
+        self._dma_slots: Dict[int, List[int]] = {}
         self._stages: Dict[int, _StageRuntime] = {}
         self._finished_stages = 0
         self._last_completion_cycle = 0
         # memoized per-size DMA/communication cycle counts (hot path)
         self._dma_cycle_memo: Dict[int, int] = {}
         self._comm_cycle_memo: Dict[int, int] = {}
+        # memoized (n_bytes, n_chunks) -> ((size, count), ...) chunk groups
+        # for the fused array-mode chunk fan-out
+        self._chunk_groups_memo: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
         # Map (kind, label) of relayed flows (HBM / storage residuals) to the
         # consumer stage and flow index expecting them.
         self._relay_targets: Dict[Tuple[str, str], Tuple[int, int]] = {}
@@ -472,7 +510,7 @@ class SystemSimulator:
                 return
 
             def granted() -> None:
-                dst = runtime.desc.io_cluster
+                dst = runtime.io_cluster
 
                 def delivered() -> None:
                     self._attribute_communication(dst, flow.bytes_per_job)
@@ -497,6 +535,35 @@ class SystemSimulator:
             )
         return self._dma_servers[cluster]
 
+    def _dma_submit(self, cluster: int, duration: int, on_done) -> None:
+        """Array-mode DMA lane: flat per-channel busy-until vector.
+
+        A multi-channel FIFO DMA with durations fixed at submission is
+        deterministic: a job starts on the earliest-free channel at
+        ``max(now, channel_busy_until)``.  An uncontended job schedules its
+        completion directly (the object kernel's fast lane inlines the
+        same insertion); a queued job leaves one typed
+        :data:`~repro.sim.engine_array.K_DMA_START` row at its start
+        cycle, which is the simulated time at which the object kernel's
+        ``Server._start_queued`` inserts the finish event.
+        """
+        slots = self._dma_slots.get(cluster)
+        if slots is None:
+            slots = self._dma_slots[cluster] = [0] * self.arch.cluster.dma_channels
+        now = self.engine._now
+        best = 0
+        free_at = slots[0]
+        for index in range(1, len(slots)):
+            if slots[index] < free_at:
+                free_at = slots[index]
+                best = index
+        if free_at <= now:
+            slots[best] = now + duration
+            self.engine.at(now + duration, on_done)
+        else:
+            slots[best] = free_at + duration
+            self.engine.defer_at(free_at, duration, on_done, kind=K_DMA_START)
+
     def _dma_cycles(self, n_bytes: int) -> int:
         if n_bytes <= 0:
             return 0
@@ -518,7 +585,7 @@ class SystemSimulator:
                 n_bytes / self.arch.cluster.dma_bandwidth_bytes_per_cycle
             )
             self._comm_cycle_memo[n_bytes] = cycles
-        self.tracer.record_cluster(cluster, "communication", cycles, self.engine._now)
+        self.tracer.record_communication(cluster, cycles, self.engine._now)
 
     def send_bytes(
         self, src: Optional[int], dst: Optional[int], n_bytes: int, on_done
@@ -537,10 +604,13 @@ class SystemSimulator:
 
         if src is not None:
             duration = self._dma_cycles(n_bytes)
-            self.tracer.record_cluster(
-                src, "communication", duration, self.engine._now + duration
+            self.tracer.record_communication(
+                src, duration, self.engine._now + duration
             )
-            self._dma_server(src).submit(duration, start_noc)
+            if self._array_mode:
+                self._dma_submit(src, duration, start_noc)
+            else:
+                self._dma_server(src).submit(duration, start_noc)
         else:
             start_noc()
 
@@ -563,11 +633,116 @@ class SystemSimulator:
             return
         chunk = math.ceil(n_bytes / n_chunks)
         barrier = Barrier(n_chunks, on_done)
+        if self._array_mode:
+            self._send_chunked_array(src, dst, n_bytes, n_chunks, chunk, barrier)
+            return
         remaining = n_bytes
         for __ in range(n_chunks):
             size = min(chunk, remaining)
             remaining -= size
             self.send_bytes(src, dst, max(1, size), barrier.arrive)
+
+    def _send_chunked_array(
+        self,
+        src: Optional[int],
+        dst: Optional[int],
+        n_bytes: int,
+        n_chunks: int,
+        chunk: int,
+        barrier: Barrier,
+    ) -> None:
+        """Array-mode chunk fan-out with per-burst work hoisted out of the loop.
+
+        All chunks are issued synchronously inside one event callback, so
+        fusing their bookkeeping is unobservable: the per-size DMA duration
+        is resolved once, the source cluster's communication cycles are
+        recorded in one call per distinct chunk size, the DMA channel scan
+        is inlined, and equal-sized chunks share a single ``start_noc``
+        closure (the closure is stateless across chunks of the same size).
+        The events it schedules are identical — in kind, time and insertion
+        order — to routing every chunk through :meth:`send_bytes`.
+        """
+        arrive = barrier.arrive
+        # (size, count) groups in issue order, replicating the object-path
+        # loop exactly (including its 1-byte floor once ``remaining`` runs
+        # out); chunk sizes are non-increasing, so grouping equal sizes
+        # preserves issue order.
+        groups = self._chunk_groups_memo.get((n_bytes, n_chunks))
+        if groups is None:
+            sizes: List[int] = []
+            remaining = n_bytes
+            for __ in range(n_chunks):
+                size = min(chunk, remaining)
+                remaining -= size
+                sizes.append(max(1, size))
+            grouped: List[Tuple[int, int]] = []
+            for size in sizes:
+                if grouped and grouped[-1][0] == size:
+                    grouped[-1] = (size, grouped[-1][1] + 1)
+                else:
+                    grouped.append((size, 1))
+            groups = self._chunk_groups_memo[(n_bytes, n_chunks)] = tuple(grouped)
+        engine = self.engine
+        noc_transfer = self.noc.transfer_bytes
+        tracer = self.tracer
+
+        def make_start_noc(size: int):
+            # delivery-side attribution cycles resolved at issue time (the
+            # memo is per-size, so the value is the same one
+            # ``_attribute_communication`` would look up at delivery time)
+            comm_cycles = self._comm_cycle_memo.get(size)
+            if comm_cycles is None:
+                comm_cycles = math.ceil(
+                    size / self.arch.cluster.dma_bandwidth_bytes_per_cycle
+                )
+                self._comm_cycle_memo[size] = comm_cycles
+
+            if dst is None:
+
+                def finished() -> None:
+                    arrive()
+
+            else:
+
+                def finished() -> None:
+                    tracer.record_communication(dst, comm_cycles, engine._now)
+                    arrive()
+
+            def start_noc() -> None:
+                noc_transfer(src, dst, size, finished)
+
+            return start_noc
+
+        if src is None:
+            for size, count in groups:
+                start_noc = make_start_noc(size)
+                for __ in range(count):
+                    start_noc()
+            return
+        slots = self._dma_slots.get(src)
+        if slots is None:
+            slots = self._dma_slots[src] = [0] * self.arch.cluster.dma_channels
+        n_slots = len(slots)
+        now = engine._now
+        defer_at = engine.defer_at  # type: ignore[attr-defined]
+        at = engine.at
+        for size, count in groups:
+            duration = self._dma_cycles(size)
+            tracer.record_communication(src, duration * count, now + duration)
+            start_noc = make_start_noc(size)
+            for __ in range(count):
+                best = 0
+                free_at = slots[0]
+                for index in range(1, n_slots):
+                    if slots[index] < free_at:
+                        free_at = slots[index]
+                        best = index
+                if free_at <= now:
+                    slots[best] = now + duration
+                    at(now + duration, start_noc)
+                else:
+                    slots[best] = free_at + duration
+                    defer_at(free_at, duration, start_noc, kind=K_DMA_START)
 
     # ------------------------------------------------------------------ #
     # Output routing
@@ -576,7 +751,7 @@ class SystemSimulator:
         self, runtime: _StageRuntime, flow: DataFlow, job_index: int, on_done
     ) -> None:
         """Deliver one output flow of one job to its destination."""
-        src = runtime.desc.io_cluster
+        src = runtime.io_cluster
         if flow.kind == ENDPOINT_STAGE:
             consumer = self._stages[flow.stage_id]
             flow_index = self._consumer_flow_index(consumer, runtime.desc.stage_id)
@@ -643,7 +818,7 @@ class SystemSimulator:
         n_chunks: int = 1,
     ) -> None:
         def granted() -> None:
-            dst = consumer.desc.io_cluster
+            dst = consumer.io_cluster
 
             def delivered() -> None:
                 consumer.deliver(flow_index, job_index)
@@ -707,6 +882,7 @@ def simulate(
     model_contention: bool = True,
     buffer_depth: int = 2,
     fast_forward: bool = False,
+    engine: str = "array",
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator and run the workload.
 
@@ -720,16 +896,36 @@ def simulate(
     workload is too small to be worth probing) the full event-driven run
     executes, so ``fast_forward=False`` behaviour is always available as
     the fallback.
+
+    ``engine`` selects the event kernel: ``"array"`` (default) runs the
+    array-native kernel (:mod:`repro.sim.engine_array` /
+    :mod:`repro.sim.noc_array`), ``"python"`` the original object kernel.
+    The two produce bit-identical results (asserted in
+    ``tests/test_sim_kernel_equivalence.py``); the switch exists as the
+    safety net and as a sweepable scenario axis.
     """
+    if engine not in SIMULATION_ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; "
+            f"expected one of {SIMULATION_ENGINES}"
+        )
     if fast_forward:
         from .steady_state import fast_forward_simulate
 
         result = fast_forward_simulate(
-            arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+            arch,
+            workload,
+            model_contention=model_contention,
+            buffer_depth=buffer_depth,
+            engine=engine,
         )
         if result is not None:
             return result
     simulator = SystemSimulator(
-        arch, workload, model_contention=model_contention, buffer_depth=buffer_depth
+        arch,
+        workload,
+        model_contention=model_contention,
+        buffer_depth=buffer_depth,
+        engine=engine,
     )
     return simulator.run()

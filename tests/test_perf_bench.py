@@ -82,6 +82,21 @@ class TestComparison:
         # the same slowdown on a CPU-bound key is flagged as before
         assert compare_results({"a.x_s": 1.0}, {"a.x_s": tolerated})
 
+    def test_regression_message_names_scenario_and_both_values(self):
+        """The gate's diagnostic must say *what* regressed and by how much:
+        scenario name, new and baseline timings, and the limit applied."""
+        messages = compare_results(
+            {"final_mapping.simulate_s": 0.100}, {"final_mapping.simulate_s": 0.250}
+        )
+        assert len(messages) == 1
+        message = messages[0]
+        assert "final_mapping.simulate_s" in message
+        assert "scenario 'final_mapping'" in message
+        assert "250.0 ms" in message  # the new timing
+        assert "100.0 ms" in message  # the baseline it is compared against
+        assert "+150%" in message
+        assert "limit +20%" in message
+
     def test_configs_comparable_ignoring_repeats_and_scenarios(self):
         import json
 

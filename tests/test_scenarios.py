@@ -182,6 +182,7 @@ class TestFingerprints:
             "model_contention": False,
             "buffer_depth": 3,
             "fast_forward": True,
+            "engine": "python",
             "execution": "typical",
             "name": "renamed",
         }

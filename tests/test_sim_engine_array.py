@@ -1,0 +1,243 @@
+"""Edge-case tests for the array-native event kernel.
+
+These mirror the object-kernel contracts in ``test_sim_engine.py``
+(re-entrancy, mid-batch ``max_events`` truncation, zero-heap same-cycle
+cascades) on :class:`~repro.sim.ArrayEngine`, and pin down the typed
+event lane that only the array kernel has: ``defer_at`` validation, row
+free-list recycling, homogeneous sub-batch dispatch at and above
+``BATCH_MIN``, and the ``pending_rows`` diagnostic.  End-to-end
+equivalence of full simulations lives in
+``test_sim_kernel_equivalence.py``; this file tests the kernel alone.
+"""
+
+import pytest
+
+from repro.sim import (
+    ArrayEngine,
+    BATCH_MIN,
+    CreditStore,
+    Engine,
+    K_DMA_START,
+    K_TRANSFER_DRAIN,
+    ROW_DTYPE,
+    Server,
+    SimulationError,
+)
+
+
+class TestDeferAt:
+    def test_equivalent_to_at_plus_after(self):
+        """defer_at(t, c, cb) fires cb at t + c, like at(t, after(c, cb))."""
+        array = ArrayEngine()
+        obj = Engine()
+        seen_array, seen_obj = [], []
+        array.defer_at(10, 7, lambda: seen_array.append(array.now))
+        obj.at(10, lambda: obj.after(7, lambda: seen_obj.append(obj.now)))
+        array.run()
+        obj.run()
+        assert seen_array == seen_obj == [17]
+
+    def test_zero_cycles_row_lands_in_same_cycle(self):
+        engine = ArrayEngine()
+        order = []
+        engine.at(5, lambda: order.append("callable"))
+        engine.defer_at(5, 0, lambda: order.append("row"))
+        engine.run()
+        # the row dispatches after the callable (FIFO within the cycle) and
+        # its zero-deferral callback joins the tail of the in-flight batch
+        assert order == ["callable", "row"]
+        assert engine.now == 5
+
+    def test_zero_heap_cascade_from_row_callback(self):
+        """A row's callback can chain after(0) continuations, all at one t."""
+        engine = ArrayEngine()
+        order = []
+
+        def chained():
+            order.append("chained")
+            engine.after(0, lambda: order.append("chained-again"))
+
+        engine.defer_at(3, 0, chained)
+        engine.at(3, lambda: order.append("peer"))
+        engine.run()
+        # the row's zero-cycle callback joins the tail of the in-flight
+        # batch (after the already-queued peer), then chains again
+        assert order == ["peer", "chained", "chained-again"]
+        assert engine.now == 3
+
+    def test_rows_interleave_with_callables_in_fifo_order(self):
+        engine = ArrayEngine()
+        order = []
+        engine.defer_at(4, 0, lambda: order.append("r1"))
+        engine.at(4, lambda: order.append("c1"))
+        engine.defer_at(4, 0, lambda: order.append("r2"))
+        engine.at(4, lambda: order.append("c2"))
+        engine.run()
+        # rows dispatch in submission order relative to callables; their
+        # zero-cycle callbacks append to the batch tail in dispatch order
+        assert order == ["c1", "c2", "r1", "r2"]
+
+    def test_past_time_rejected(self):
+        engine = ArrayEngine()
+        engine.at(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.defer_at(5, 1, lambda: None)
+
+    def test_negative_cycles_rejected(self):
+        engine = ArrayEngine()
+        with pytest.raises(SimulationError):
+            engine.defer_at(0, -1, lambda: None)
+
+    def test_row_counts_as_one_event(self):
+        engine = ArrayEngine()
+        engine.defer_at(1, 5, lambda: None)
+        engine.run()
+        # the row itself plus the deferred callback it scheduled
+        assert engine.events_processed == 2
+
+
+class TestRowStorage:
+    def test_free_list_recycles_rows(self):
+        """Sequential rows reuse one storage slot — the table stays dense."""
+        engine = ArrayEngine()
+        for start in range(0, 50, 2):
+            engine.defer_at(start, 1, lambda: None)
+            engine.run()
+        assert len(engine._row_kind) == 1
+        assert engine._free_rows == [0]
+
+    def test_pending_rows_diagnostic(self):
+        engine = ArrayEngine()
+        engine.defer_at(5, 7, lambda: None, kind=K_TRANSFER_DRAIN)
+        engine.defer_at(6, 9, lambda: None, kind=K_DMA_START)
+        rows = engine.pending_rows()
+        assert rows.dtype == ROW_DTYPE
+        assert sorted(rows["kind"].tolist()) == [K_TRANSFER_DRAIN, K_DMA_START]
+        assert sorted(rows["cycles"].tolist()) == [7, 9]
+        engine.run()
+        assert len(engine.pending_rows()) == 0
+
+
+class TestBatchDispatch:
+    def test_large_same_cycle_run_dispatches_in_row_order(self):
+        """A run past BATCH_MIN takes the numpy bulk path, order preserved."""
+        engine = ArrayEngine()
+        n = BATCH_MIN * 3
+        done = []
+        for i in range(n):
+            engine.defer_at(10, i, lambda i=i: done.append((engine.now, i)))
+        engine.run()
+        # every callback fired at 10 + its own deferral, in row order for
+        # equal times (i is unique here so times are strictly increasing)
+        assert done == [(10 + i, i) for i in range(n)]
+
+    def test_bulk_and_scalar_paths_agree(self):
+        """Same schedule, one run under BATCH_MIN and one over: same trace."""
+
+        def trace(n):
+            engine = ArrayEngine()
+            done = []
+            for i in range(n):
+                engine.defer_at(2, i % 3, lambda i=i: done.append((engine.now, i)))
+            engine.run()
+            return done
+
+        small, large = trace(BATCH_MIN - 1), trace(BATCH_MIN + 5)
+        for done in (small, large):
+            assert done == sorted(done, key=lambda item: item[0])
+            # FIFO among equal target times: row order is preserved
+            for time in {t for t, _ in done}:
+                ids = [i for t, i in done if t == time]
+                assert ids == sorted(ids)
+
+    def test_mixed_runs_split_at_callables(self):
+        engine = ArrayEngine()
+        order = []
+        for i in range(BATCH_MIN):
+            engine.defer_at(1, 0, lambda i=i: order.append(f"a{i}"))
+        engine.at(1, lambda: order.append("mid"))
+        for i in range(BATCH_MIN):
+            engine.defer_at(1, 0, lambda i=i: order.append(f"b{i}"))
+        engine.run()
+        expected = ["mid"]
+        expected += [f"a{i}" for i in range(BATCH_MIN)]
+        expected += [f"b{i}" for i in range(BATCH_MIN)]
+        assert order == expected
+
+
+class TestBoundedRuns:
+    def test_max_events_truncates_between_rows_and_resumes_in_order(self):
+        """Mirrors the object kernel's mid-batch truncation contract."""
+        engine = ArrayEngine()
+        order = []
+        engine.defer_at(7, 0, lambda: order.append("r1"))
+        engine.defer_at(7, 0, lambda: order.append("r2"))
+        engine.at(7, lambda: order.append("c1"))
+        engine.at(9, lambda: order.append("late"))
+        engine.run(max_events=2)
+        # two of the three t=7 entries dispatched; the rows' zero-cycle
+        # callbacks were requeued with the unprocessed tail
+        assert engine.now == 7
+        assert not engine.empty()
+        engine.run()
+        assert order == ["c1", "r1", "r2", "late"]
+        assert engine.now == 9
+
+    def test_max_events_counts_rows_as_events(self):
+        engine = ArrayEngine()
+        fired = []
+        for i in range(4):
+            engine.defer_at(1, 10, lambda i=i: fired.append(i))
+        engine.run(max_events=3)
+        assert engine.now == 1
+        assert fired == []  # rows dispatched, callbacks land at t=11
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_until_bound_matches_object_engine(self):
+        array = ArrayEngine()
+        obj = Engine()
+        for engine in (array, obj):
+            engine.at(100, lambda: None)
+            assert engine.run(until=50) == 50
+            assert engine.run(until=40) == 50  # stale bound: no rewind
+            engine.run()
+            assert engine.now == 100
+
+    def test_reentrant_run_raises(self):
+        engine = ArrayEngine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as error:
+                errors.append(str(error))
+
+        engine.defer_at(1, 0, reenter)
+        engine.run()
+        assert len(errors) == 1
+        assert "re-entrant" in errors[0]
+        engine.at(2, lambda: None)
+        assert engine.run() == 2
+
+
+class TestDropIn:
+    def test_object_primitives_run_unchanged(self):
+        """Server and CreditStore work on ArrayEngine exactly as on Engine."""
+        engine = ArrayEngine()
+        server = Server(engine, "s", capacity=1)
+        store = CreditStore(engine, "c", initial=1)
+        done = []
+        store.acquire(lambda: server.submit(10, lambda: done.append(engine.now)))
+        store.acquire(lambda: server.submit(10, lambda: done.append(engine.now)))
+        engine.at(5, store.release)
+        engine.run()
+        # second job is granted at t=5, queues behind the first (busy until
+        # t=10) and serves 10 cycles
+        assert done == [10, 20]
+        assert server.jobs_served == 2
+
+    def test_uses_slots(self):
+        assert not hasattr(ArrayEngine(), "__dict__")

@@ -1,0 +1,224 @@
+"""Bit-identity harness: array-native kernel vs object kernel.
+
+The array kernel (``engine="array"``) is a pure performance mechanism —
+typed event rows, flat link busy-until vectors, fused DMA fan-out.  Its
+acceptance contract is *bit-identical results*: for every workload, every
+contention mode and every buffer depth, ``simulate(engine="array")`` must
+return exactly what ``simulate(engine="python")`` returns, down to the
+per-stage completion traces and per-link busy counters.  The comparison
+runs through :func:`repro.sim.result_mismatches`, which enumerates every
+observable of a :class:`~repro.sim.SimulationResult` and reports the first
+divergence by name.
+
+Three layers of coverage:
+
+* the synthetic pipelines and model-zoo mappings shared with the
+  fast-forward suite (known shapes: replication, residual storage, HBM
+  endpoints, periodic and non-periodic pipelines);
+* a seeded randomized property sweep over small pipelines — stage counts,
+  costs, byte sizes, replication widths, storage flows, buffer depths and
+  contention drawn from a fixed-seed RNG, so a kernel divergence on an
+  unanticipated shape shows up here first (and reproducibly);
+* the fast-forward path on top of the array kernel, which exercises the
+  bounded (``max_events``/``until``) run paths the unbounded batch loop
+  does not touch.
+"""
+
+import random
+
+import pytest
+
+from repro.scenarios.fingerprint import simulation_key
+from repro.sim import (
+    DataFlow,
+    StageCost,
+    StageDescriptor,
+    Workload,
+    assert_results_identical,
+    result_mismatches,
+    simulate,
+)
+
+from test_sim_fast_forward import ARCH64, SYNTHETIC, ZOO, _chain, _zoo_workload
+
+
+# --------------------------------------------------------------------------- #
+# Known shapes: the fast-forward suite's synthetic + zoo workloads
+# --------------------------------------------------------------------------- #
+class TestKnownShapes:
+    @pytest.mark.parametrize(
+        "name,workload,_must_engage",
+        SYNTHETIC,
+        ids=[case[0] for case in SYNTHETIC],
+    )
+    @pytest.mark.parametrize("model_contention", [True, False], ids=["cont", "nocont"])
+    def test_synthetic_pipelines_identical(self, name, workload, _must_engage,
+                                           model_contention):
+        python = simulate(ARCH64, workload, model_contention, engine="python")
+        array = simulate(ARCH64, workload, model_contention, engine="array")
+        assert result_mismatches(python, array) == []
+
+    @pytest.mark.parametrize(
+        "name,model,shape,level,batch,clusters,classes,crossbar,_must_engage",
+        ZOO,
+        ids=[case[0] for case in ZOO],
+    )
+    def test_zoo_mappings_identical(
+        self, name, model, shape, level, batch, clusters, classes, crossbar,
+        _must_engage,
+    ):
+        arch, workload = _zoo_workload(
+            model, shape, level, batch, clusters, classes, crossbar
+        )
+        python = simulate(arch, workload, engine="python")
+        array = simulate(arch, workload, engine="array")
+        assert_results_identical(python, array)
+
+    def test_payloads_identical_including_stage_completions(self):
+        """The persisted payloads — the cache currency — match exactly.
+
+        The tracer ships inside the payload as a live object, so it is
+        compared field by field through ``result_mismatches`` (which covers
+        every counter, trace and busy map) and the remaining payload
+        entries by plain equality.
+        """
+        arch, workload = _zoo_workload("tiny_cnn", (3, 32, 32), "final", 16, 16, 10, 128)
+        python = simulate(arch, workload, engine="python")
+        array = simulate(arch, workload, engine="array")
+        assert result_mismatches(python, array) == []
+        python_payload = python.to_payload()
+        array_payload = array.to_payload()
+        assert type(python_payload.pop("tracer")) is type(array_payload.pop("tracer"))
+        assert python_payload == array_payload
+
+
+# --------------------------------------------------------------------------- #
+# Seeded randomized property sweep
+# --------------------------------------------------------------------------- #
+def _random_workload(rng: random.Random) -> Workload:
+    """A random small pipeline drawn from the space the simulator supports.
+
+    Shapes vary across every axis the kernels treat differently: stage
+    count, per-stage replication width, analog cost, transfer sizes (tiny
+    transfers exercise the ``max(1, ...)`` chunking edge), residual
+    storage flows with their own buffer depths, and job counts that do and
+    do not divide the batch size.
+    """
+    n_stages = rng.randint(2, 5)
+    n_jobs = rng.choice([7, 12, 24, 31, 48])
+    bytes_per_job = rng.choice([1, 5, 260, 2048, 5000])
+    analog = rng.choice([0, 17, 400])
+    cluster = 0
+    stages = []
+    storage_stage = rng.randrange(n_stages - 1) if rng.random() < 0.5 else None
+    for i in range(n_stages):
+        inputs = (
+            (DataFlow("hbm", bytes_per_job, label="in"),)
+            if i == 0
+            else (DataFlow("stage", bytes_per_job, stage_id=i - 1),)
+        )
+        outputs = (
+            (DataFlow("hbm", bytes_per_job, label="out"),)
+            if i == n_stages - 1
+            else (DataFlow("stage", bytes_per_job, stage_id=i + 1),)
+        )
+        if storage_stage == i:
+            depth = rng.choice([1, 4])
+            outputs = outputs + (
+                DataFlow("storage", bytes_per_job, storage_cluster=63,
+                         label="res", buffer_depth=depth),
+            )
+        if storage_stage is not None and i == n_stages - 1:
+            inputs = inputs + (
+                DataFlow("storage", bytes_per_job, storage_cluster=63,
+                         label="res", buffer_depth=4),
+            )
+        replication = rng.choice([1, 1, 2, 3])
+        replicas = tuple(
+            tuple(cluster + r * 2 + c for c in range(rng.choice([1, 2])))
+            for r in range(replication)
+        )
+        cluster += 2 * replication + 1
+        stages.append(
+            StageDescriptor(
+                stage_id=i,
+                name=f"s{i}",
+                analog_replicas=replicas,
+                cost=StageCost(
+                    analog_cycles_per_job=analog,
+                    digital_cycles_per_job=rng.choice([0, 90]),
+                    analog_macs_per_job=100,
+                ),
+                inputs=inputs,
+                outputs=outputs,
+            )
+        )
+    return Workload(
+        "random",
+        stages,
+        n_jobs=n_jobs,
+        batch_size=max(1, n_jobs // rng.choice([1, 3, 4])),
+        tiles_per_image=rng.choice([1, 4]),
+        total_macs=100 * n_jobs * n_stages,
+    )
+
+
+class TestRandomizedProperty:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_pipelines_identical(self, seed):
+        rng = random.Random(1000 + seed)
+        workload = _random_workload(rng)
+        model_contention = rng.random() < 0.7
+        buffer_depth = rng.choice([1, 2, 5])
+        python = simulate(
+            ARCH64, workload, model_contention, buffer_depth, engine="python"
+        )
+        array = simulate(
+            ARCH64, workload, model_contention, buffer_depth, engine="array"
+        )
+        mismatches = result_mismatches(python, array)
+        assert mismatches == [], f"seed {seed}: {mismatches}"
+
+
+# --------------------------------------------------------------------------- #
+# Bounded runs: the fast-forward probe on top of the array kernel
+# --------------------------------------------------------------------------- #
+class TestBoundedRunEquivalence:
+    @pytest.mark.parametrize(
+        "name,workload,must_engage",
+        SYNTHETIC,
+        ids=[case[0] for case in SYNTHETIC],
+    )
+    def test_fast_forward_on_array_kernel(self, name, workload, must_engage):
+        """FF probing uses until/max_events bounds: exact mid-batch
+        truncation with in-order resume must hold on the array kernel too."""
+        full = simulate(ARCH64, workload, engine="array")
+        ff = simulate(ARCH64, workload, fast_forward=True, engine="array")
+        if must_engage:
+            assert ff.fast_forwarded, f"{name}: fast-forward failed to engage"
+        assert result_mismatches(full, ff, ignore_provenance=True) == []
+
+    def test_fast_forward_identical_across_kernels(self):
+        workload = _chain(n_jobs=96, replication=2)
+        python = simulate(ARCH64, workload, fast_forward=True, engine="python")
+        array = simulate(ARCH64, workload, fast_forward=True, engine="array")
+        assert python.fast_forwarded and array.fast_forwarded
+        assert result_mismatches(python, array) == []
+
+
+# --------------------------------------------------------------------------- #
+# Cache keying of the engine axis
+# --------------------------------------------------------------------------- #
+class TestEngineCacheKey:
+    def test_engines_key_separately(self):
+        base = simulation_key("a", "w", True, 2)
+        assert simulation_key("a", "w", True, 2, engine="array") == base
+        assert simulation_key("a", "w", True, 2, engine="python") != base
+
+    def test_engine_and_fast_forward_axes_are_independent(self):
+        keys = {
+            simulation_key("a", "w", True, 2, fast_forward=ff, engine=engine)
+            for ff in (False, True)
+            for engine in ("array", "python")
+        }
+        assert len(keys) == 4
