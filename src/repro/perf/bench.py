@@ -37,6 +37,10 @@ wall-clock seconds, lower is better, and are the ones regression-checked;
 * ``sim_engine`` — a pure event-kernel microbenchmark (servers + credit
   stores churning a synthetic pipeline, no numpy, no workload build),
   isolating the dispatch-loop cost the bucketed engine optimises;
+* ``sim_engine_array`` / ``sim_engine_table`` — the event kernels head
+  to head on the FINAL-mapping workload (array vs object, then table vs
+  array vs object): bit-identical results, so the speedup ratios isolate
+  the dispatch mechanism and stay robust to host-speed drift;
 * ``large_batch_sim`` — a batch-64 simulation of the naive paper mapping
   (256 pipeline jobs), full event-driven run vs the exact steady-state
   fast-forward (:mod:`repro.sim.steady_state`); the ``ff_speedup`` ratio
@@ -161,6 +165,7 @@ class BenchConfig:
         "accuracy_sweep",
         "sim_engine",
         "sim_engine_array",
+        "sim_engine_table",
         "large_batch_sim",
     )
 
@@ -496,6 +501,52 @@ def bench_sim_engine_array(config: BenchConfig) -> Dict[str, float]:
     return results
 
 
+def bench_sim_engine_table(config: BenchConfig) -> Dict[str, float]:
+    """All three event kernels, head to head, same FINAL-mapping workload.
+
+    The compiled table lane (:mod:`repro.sim.system_table`) vs the
+    array-native kernel vs the object kernel, all simulating the FINAL
+    ResNet-18 mapping with contention on in one process.  The results are
+    bit-identical (asserted in ``tests/test_sim_engine_table.py``), so the
+    timings isolate dispatch mechanism alone: integer transition tables
+    over flat state vectors vs typed callback rows vs per-resource
+    servers/barriers.  ``table_speedup`` (array/table) is the headline
+    ratio of the table lane; ``total_speedup`` (python/table) tracks the
+    cumulative win over the original object kernel.  All three ``*_s``
+    timings are regression-gated individually.
+    """
+    scenario = Scenario(
+        model="resnet18",
+        input_shape=config.sim_input,
+        batch_size=config.sim_batch,
+        level=OptimizationLevel.FINAL.value,
+        n_clusters=config.sim_clusters,
+        crossbar_size=config.sim_crossbar,
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    mapping = mapping_stage(graph, arch, scenario.batch_size, scenario.level_enum)
+    workload = workload_stage(mapping)
+    results = {
+        "sim_engine_table.table_s": _time(
+            lambda: simulate(arch, workload, engine="table"), config.repeats
+        ),
+        "sim_engine_table.array_s": _time(
+            lambda: simulate(arch, workload, engine="array"), config.repeats
+        ),
+        "sim_engine_table.python_s": _time(
+            lambda: simulate(arch, workload, engine="python"), config.repeats
+        ),
+    }
+    results["sim_engine_table.table_speedup"] = (
+        results["sim_engine_table.array_s"] / results["sim_engine_table.table_s"]
+    )
+    results["sim_engine_table.total_speedup"] = (
+        results["sim_engine_table.python_s"] / results["sim_engine_table.table_s"]
+    )
+    return results
+
+
 def bench_large_batch_sim(config: BenchConfig) -> Dict[str, float]:
     """Batch-64 simulation: full event-driven run vs steady-state fast-forward.
 
@@ -542,6 +593,7 @@ SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "accuracy_sweep": bench_accuracy_sweep,
     "sim_engine": bench_sim_engine,
     "sim_engine_array": bench_sim_engine_array,
+    "sim_engine_table": bench_sim_engine_table,
     "large_batch_sim": bench_large_batch_sim,
 }
 
@@ -612,6 +664,20 @@ def compare_results(
                 f"(+{(after / before - 1.0) * 100.0:.0f}%, limit +{limit:.0%})"
             )
     return regressions
+
+
+def missing_baselines(old: Dict[str, float], new: Dict[str, float]) -> List[str]:
+    """Scenarios timed in ``new`` that have no ``*_s`` baseline in ``old``.
+
+    A scenario added after the latest trajectory point has nothing to be
+    gated against; that is legitimate — it enters the trajectory when the
+    next point is written — but the gate must *say* it skipped the
+    scenario rather than silently (or, worse, fatally) ignoring it:
+    ``--check`` prints the returned names as "new scenario, skipped".
+    """
+    old_scenarios = {key.partition(".")[0] for key in old if key.endswith("_s")}
+    new_scenarios = {key.partition(".")[0] for key in new if key.endswith("_s")}
+    return sorted(new_scenarios - old_scenarios)
 
 
 def load_payload(path: Path) -> Dict[str, object]:
@@ -758,7 +824,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if previous is not None:
         payload = load_payload(previous)
         if comparable_configs(payload.get("config"), config):
-            regressions = compare_results(payload["results"], results)
+            # a baseline written before a scenario existed must not break
+            # the gate: the scenario's keys are simply not comparable yet.
+            baseline = payload.get("results") or {}
+            for name in missing_baselines(baseline, results):
+                print(f"new scenario {name!r}: no baseline in {previous.name}, skipped")
+            regressions = compare_results(baseline, results)
             if regressions:
                 print(f"regressions vs {previous.name}:")
                 for message in regressions:

@@ -245,12 +245,12 @@ def simulation_key(
     the key even though fast-forwarded results are bit-identical on every
     metric: the persisted payload records the ``fast_forwarded`` provenance
     flag, and serving one mode's artifact to the other would misreport it.
-    ``engine`` (array vs python kernel) is likewise part of the key despite
-    bit-identical payloads: a sweep that pins the kernel must actually run
-    it — serving the other kernel's artifact would silently mask any
-    divergence the kernel-equivalence suite exists to catch.  Adding the
-    axis changes every simulation key once; historical artifacts miss
-    cleanly and are re-simulated.
+    ``engine`` (array vs python vs table kernel) is likewise part of the
+    key despite bit-identical payloads: a sweep that pins the kernel must
+    actually run it — serving another kernel's artifact would silently
+    mask any divergence the kernel-equivalence suite exists to catch.
+    Adding the axis changes every simulation key once; historical
+    artifacts miss cleanly and are re-simulated.
     """
     return fingerprint(
         (

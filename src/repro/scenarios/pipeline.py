@@ -246,9 +246,9 @@ def simulation_stage(
     (:mod:`repro.sim.steady_state`); it changes how the result is computed,
     never its metrics, but keys separately so the persisted
     ``fast_forwarded`` provenance flag stays truthful.  ``engine`` selects
-    the event kernel (array-native vs object); the kernels are
-    bit-identical but key separately so a pinned-kernel sweep really
-    exercises the kernel it pinned.
+    the event kernel (array-native, object or compiled table lane); the
+    kernels are bit-identical but key separately so a pinned-kernel sweep
+    really exercises the kernel it pinned.
     """
     if cache is None:
         return simulate(

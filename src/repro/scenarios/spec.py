@@ -279,11 +279,12 @@ class Scenario:
     #: carries the ``fast_forwarded`` provenance marker.
     fast_forward: bool = False
     #: which event-kernel implementation runs the simulation stage:
-    #: ``"array"`` (the array-native kernel, default) or ``"python"`` (the
-    #: object kernel).  The two are bit-identical, so this is a performance
-    #: axis; it is still part of the simulation cache key so a sweep that
-    #: pins it never reuses the other kernel's artifacts (which would mask
-    #: any divergence the equivalence suite is meant to catch).
+    #: ``"array"`` (the array-native kernel, default), ``"python"`` (the
+    #: object kernel) or ``"table"`` (the compiled state-machine lane).
+    #: All three are bit-identical, so this is a performance axis; it is
+    #: still part of the simulation cache key so a sweep that pins it
+    #: never reuses another kernel's artifacts (which would mask any
+    #: divergence the equivalence suite is meant to catch).
     engine: str = "array"
     # -- accuracy axis: functional execution of the network ---------------- #
     #: when set, the scenario additionally runs the accuracy stage

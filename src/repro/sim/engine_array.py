@@ -133,6 +133,27 @@ class ArrayEngine(Engine):
         else:
             bucket.append(row)
 
+    def reset(self) -> None:
+        """Release the row table and free list (post-run compaction).
+
+        Row storage grows to the run's peak number of in-flight typed
+        events and is only ever recycled, never shrunk, while events are
+        pending.  A long-lived worker (e.g. a ``SweepRunner`` process
+        that keeps simulators or engines reachable between scenarios)
+        would otherwise retain the peak-size columns; after a drained
+        run this drops them.  Raises :class:`SimulationError` when called
+        mid-run or with events still queued — a reset must never orphan
+        a live row index sitting in a bucket.
+        """
+        if self._running:
+            raise SimulationError("cannot reset an engine from inside run()")
+        if self._times:
+            raise SimulationError("cannot reset an engine with pending events")
+        self._row_kind.clear()
+        self._row_cycles.clear()
+        self._row_callback.clear()
+        self._free_rows.clear()
+
     def pending_rows(self) -> np.ndarray:
         """Live typed rows as a structured array (kind, cycles) — diagnostic."""
         free = set(self._free_rows)

@@ -1,0 +1,352 @@
+"""Cycle-batched state-machine dispatch: opcode rows + a handler jump table.
+
+The array kernel (:mod:`repro.sim.engine_array`) removed the per-event
+*bookkeeping* of deterministic resources — a typed row replaces a server
+job, a barrier and a bound-method event — but every row still resolves to
+one Python **callback**, and profiling the FINAL-mapping run shows the
+remaining floor is exactly those callbacks: per-job closures created by
+``_StageRuntime`` (start/finish/deliver), credit-grant lambdas, and the
+chunk fan-out's per-group ``start_noc`` closures.
+
+:class:`TableEngine` adds a second typed lane for *compiled* state
+machines: an **opcode row**.  Where a callback row stores ``(kind,
+cycles, callback)``, an opcode row stores ``(op, cycles, arg)`` — ``op``
+is an integer event kind at or above :data:`K_OP_BASE` that indexes a
+handler jump table registered once per run (:meth:`set_handlers`), and
+``arg`` is usually a packed integer (``state_id * n_jobs + job``) naming
+a slot in the client's flat state vectors.  Dispatching an opcode row is
+one table lookup plus one handler call on dense integer state — no
+closure is ever allocated, and the client's transition logic
+(:class:`repro.sim.system_table.TableProgram`) advances whole lifecycle
+steps per handler call instead of one callback hop each.
+
+Two scheduling entry points mirror the callback lane exactly:
+
+* :meth:`sched_op` ≡ ``at(time, lambda: handler(arg))`` — the handler
+  runs when the row is dispatched;
+* :meth:`defer_op` ≡ ``defer_at(time, cycles, lambda: handler(arg))`` —
+  at dispatch the row *re-queues itself* into bucket ``time + cycles``
+  (zero allocation: the row flips its ``cycles`` field to the consumed
+  marker), and the handler runs when the re-queued row is dispatched.
+  A ``cycles == 0`` deferral re-queues at the tail of the active bucket,
+  byte-identical to the callback lane's ``after(0, ...)`` ordering.
+
+Callback rows and plain callables keep flowing through the same buckets
+unchanged — mixed runs dispatch in exact bucket order — so everything the
+tables do not compile (external feeds, re-entrant credit waiters,
+mid-batch ``max_events`` truncation) falls back to callback dispatch with
+no special cases.  Event counts per path equal the array kernel's 1:1,
+which keeps bounded runs and event-order equivalence exact; the
+bit-identity gate is ``tests/test_sim_kernel_equivalence.py`` plus the
+three-way matrix in ``tests/test_sim_engine_table.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .engine import Callback, SimulationError
+from .engine_array import ArrayEngine, BATCH_MIN
+
+#: first opcode kind.  Kinds below this are the array kernel's callback
+#: rows (``K_TRANSFER_DRAIN``/``K_DMA_START``); kinds at or above it index
+#: the handler jump table as ``handlers[kind - K_OP_BASE]``.
+K_OP_BASE = 16
+
+#: ``cycles`` marker of an opcode row whose deferral (if any) has been
+#: consumed: dispatching it runs the handler.  ``sched_op`` rows are born
+#: consumed; ``defer_op`` rows carry ``cycles >= 0`` and flip to the
+#: marker when they re-queue themselves.
+_CONSUMED = -1
+
+
+class TableEngine(ArrayEngine):
+    """Array engine with an opcode lane dispatched through a jump table.
+
+    A drop-in :class:`ArrayEngine`: callables, callback rows and opcode
+    rows coexist in the same buckets and dispatch in exact FIFO order.
+    Opcode rows reuse the columnar row storage — the ``callback`` object
+    column holds the handler argument, the ``cycles`` column doubles as
+    the deferral/consumed state — so the free list is shared and
+    :meth:`~ArrayEngine.reset` compacts both lanes at once.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self):
+        super().__init__()
+        self._handlers: Tuple = ()
+
+    def set_handlers(self, handlers: Sequence) -> None:
+        """Register the opcode jump table: ``handlers[op - K_OP_BASE]``."""
+        self._handlers = tuple(handlers)
+
+    # ------------------------------------------------------------------ #
+    # Opcode lane
+    # ------------------------------------------------------------------ #
+    def sched_op(self, time: int, op: int, arg) -> None:
+        """Schedule ``handlers[op - K_OP_BASE](arg)`` at ``time``.
+
+        One event, like ``at(time, callback)``; the handler runs when the
+        row is dispatched.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        free = self._free_rows
+        if free:
+            row = free.pop()
+            self._row_kind[row] = op
+            self._row_cycles[row] = _CONSUMED
+            self._row_callback[row] = arg
+        else:
+            row = len(self._row_kind)
+            self._row_kind.append(op)
+            self._row_cycles.append(_CONSUMED)
+            self._row_callback.append(arg)
+        if time == self._now and self._active is not None:
+            self._active.append(row)
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [row]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(row)
+
+    def defer_op(self, time: int, cycles: int, op: int, arg) -> None:
+        """At ``time``, defer ``handlers[op - K_OP_BASE](arg)`` by ``cycles``.
+
+        Two events, like :meth:`~ArrayEngine.defer_at`: the row is
+        dispatched at ``time`` and re-queues *itself* into bucket
+        ``time + cycles`` (flipping ``cycles`` to the consumed marker —
+        no second allocation), where its dispatch runs the handler.  The
+        insertion into the target bucket happens at simulated time
+        ``time``, preserving the object kernel's FIFO position.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        if cycles < 0:
+            raise SimulationError(f"deferral cannot be negative, got {cycles}")
+        free = self._free_rows
+        if free:
+            row = free.pop()
+            self._row_kind[row] = op
+            self._row_cycles[row] = cycles
+            self._row_callback[row] = arg
+        else:
+            row = len(self._row_kind)
+            self._row_kind.append(op)
+            self._row_cycles.append(cycles)
+            self._row_callback.append(arg)
+        if time == self._now and self._active is not None:
+            self._active.append(row)
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [row]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(row)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch overrides
+    # ------------------------------------------------------------------ #
+    def _dispatch_row(self, row: int) -> None:
+        kind = self._row_kind[row]
+        if kind < K_OP_BASE:
+            ArrayEngine._dispatch_row(self, row)
+            return
+        cycles = self._row_cycles[row]
+        if cycles < 0:
+            arg = self._row_callback[row]
+            self._row_callback[row] = None
+            self._free_rows.append(row)
+            self._handlers[kind - K_OP_BASE](arg)
+            return
+        # deferral pending: re-queue this same row, deferral consumed
+        self._row_cycles[row] = _CONSUMED
+        time = self._now + cycles
+        if cycles == 0:
+            active = self._active
+            if active is not None:
+                active.append(row)
+                return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [row]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(row)
+
+    def run(self, until=None, max_events=None) -> int:
+        """Unbounded hot loop with opcode dispatch inlined.
+
+        Same contract as :meth:`ArrayEngine.run`; bounded runs
+        (``max_events``) delegate to the parent so mid-batch truncation
+        keeps its exact row-by-row semantics.  The unbounded loop folds
+        :meth:`_dispatch_row` into the bucket walk — one jump-table call
+        per opcode row with no intermediate method dispatch, which is
+        where a compiled run spends its remaining per-event time.
+        """
+        if max_events is not None:
+            return ArrayEngine.run(self, until=until, max_events=max_events)
+        if self._running:
+            raise SimulationError(
+                "Engine.run() is not re-entrant: it was called from inside "
+                "an event callback while a run is already in progress"
+            )
+        if until is not None and until < self._now:
+            return self._now
+        self._running = True
+        processed = 0
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        row_kind = self._row_kind
+        row_cycles = self._row_cycles
+        row_callback = self._row_callback
+        free = self._free_rows
+        handlers = self._handlers
+        base = K_OP_BASE
+        try:
+            while times:
+                time = times[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heappop(times)
+                bucket = buckets.pop(time)
+                self._now = time
+                self._active = bucket
+                index = 0
+                try:
+                    while True:
+                        try:
+                            entry = bucket[index]
+                        except IndexError:
+                            break
+                        index += 1
+                        processed += 1
+                        if type(entry) is int:
+                            kind = row_kind[entry]
+                            cycles = row_cycles[entry]
+                            if kind >= base:
+                                if cycles < 0:
+                                    arg = row_callback[entry]
+                                    row_callback[entry] = None
+                                    free.append(entry)
+                                    handlers[kind - base](arg)
+                                    continue
+                                # pending deferral: re-queue this same row
+                                row_cycles[entry] = _CONSUMED
+                                if cycles == 0:
+                                    bucket.append(entry)
+                                    continue
+                                target = time + cycles
+                                nxt = buckets.get(target)
+                                if nxt is None:
+                                    buckets[target] = [entry]
+                                    heappush(times, target)
+                                else:
+                                    nxt.append(entry)
+                                continue
+                            callback = row_callback[entry]
+                            row_callback[entry] = None
+                            free.append(entry)
+                            if cycles == 0:
+                                bucket.append(callback)
+                                continue
+                            target = time + cycles
+                            nxt = buckets.get(target)
+                            if nxt is None:
+                                buckets[target] = [callback]
+                                heappush(times, target)
+                            else:
+                                nxt.append(callback)
+                        else:
+                            entry()
+                finally:
+                    self._active = None
+                    if index < len(bucket):
+                        # a callback raised: requeue the unprocessed tail so
+                        # a later run() resumes in order.
+                        buckets[time] = bucket[index:]
+                        heappush(times, time)
+            if until is not None and not times and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            self._active = None
+            self._events_processed += processed
+        return self._now
+
+    def _dispatch_run(self, rows: List[int]) -> None:
+        """Batch-dispatch a same-cycle run mixing callback and opcode rows.
+
+        Target times are computed in bulk exactly as in the array kernel
+        (consumed opcode rows land below ``now`` via their marker and run
+        their handler); insertions and handler calls happen in row order,
+        identical to dispatching the rows one by one.
+        """
+        now = self._now
+        row_cycles = self._row_cycles
+        if len(rows) >= BATCH_MIN:
+            target_list = (
+                now
+                + np.fromiter(
+                    (row_cycles[r] for r in rows), dtype=np.int64, count=len(rows)
+                )
+            ).tolist()
+        else:
+            target_list = [now + row_cycles[r] for r in rows]
+        row_kind = self._row_kind
+        row_callback = self._row_callback
+        free = self._free_rows
+        buckets = self._buckets
+        times = self._times
+        handlers = self._handlers
+        base = K_OP_BASE
+        for row, time in zip(rows, target_list):
+            kind = row_kind[row]
+            if kind >= base:
+                if time < now:  # consumed marker: run the handler
+                    arg = row_callback[row]
+                    row_callback[row] = None
+                    free.append(row)
+                    handlers[kind - base](arg)
+                    continue
+                row_cycles[row] = _CONSUMED
+                if time == now:
+                    active = self._active
+                    if active is not None:
+                        active.append(row)
+                        continue
+                bucket = buckets.get(time)
+                if bucket is None:
+                    buckets[time] = [row]
+                    heapq.heappush(times, time)
+                else:
+                    bucket.append(row)
+                continue
+            callback = row_callback[row]
+            row_callback[row] = None
+            free.append(row)
+            if time == now:
+                active = self._active
+                if active is not None:
+                    active.append(callback)
+                    continue
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [callback]
+                heapq.heappush(times, time)
+            else:
+                bucket.append(callback)

@@ -93,45 +93,14 @@ class _ProbeSimulator(SystemSimulator):
     def job_finished(self, stage_id: int, job_index: int) -> None:
         super().job_finished(stage_id, job_index)
         if stage_id == self._final_stage_id:
-            tracer = self.tracer
-            self.counter_snaps.append(
-                (
-                    self.engine._now,
-                    tracer.hbm_bytes,
-                    tracer.noc_bytes,
-                    tracer.noc_byte_hops,
-                    tracer.local_bytes,
-                    tracer.n_transfers,
-                )
-            )
-            self.cluster_snaps.append(
-                {
-                    cid: (
-                        act.analog,
-                        act.digital,
-                        act.communication,
-                        act.synchronization,
-                        act.jobs,
-                        act.last_busy_cycle,
-                    )
-                    for cid, act in tracer.clusters.items()
-                }
-            )
-            self.stage_snaps.append(
-                {
-                    sid: (
-                        rec.jobs_completed,
-                        rec.analog_busy,
-                        rec.digital_busy,
-                        rec.input_stall,
-                        rec.output_stall,
-                        rec.first_job_start,
-                        rec.last_job_end,
-                    )
-                    for sid, rec in tracer.stages.items()
-                }
-            )
-            self.link_snaps.append(dict(tracer.link_busy))
+            # snapshot_activity is engine-aware: the table engine serves
+            # clusters/links from its dense mid-run lanes, the other two
+            # from the tracer — identical values either way.
+            counters, clusters, stages, links = self.snapshot_activity()
+            self.counter_snaps.append(counters)
+            self.cluster_snaps.append(clusters)
+            self.stage_snaps.append(stages)
+            self.link_snaps.append(links)
 
 
 @dataclass

@@ -52,9 +52,11 @@ from .workload import (
 SIMULATION_PAYLOAD_VERSION = 2
 
 #: valid values of the ``engine`` argument of :func:`simulate` /
-#: :class:`SystemSimulator`: the array-native kernel (default) and the
-#: original object kernel it is bit-identical to.
-SIMULATION_ENGINES = ("array", "python")
+#: :class:`SystemSimulator`: the array-native kernel (default), the
+#: original object kernel it is bit-identical to, and the compiled
+#: state-machine lane (:mod:`repro.sim.system_table`), bit-identical to
+#: both.
+SIMULATION_ENGINES = ("array", "python", "table")
 
 
 @dataclass(frozen=True)
@@ -443,9 +445,17 @@ class SystemSimulator:
         self.tracer = Tracer()
         if self._array_mode:
             self.engine: Engine = ArrayEngine()
-            self.noc: NocModel = ArrayNocModel(
+            self.noc: Optional[NocModel] = ArrayNocModel(
                 self.engine, arch, tracer=self.tracer, model_contention=model_contention
             )
+        elif engine == "table":
+            # compiled state-machine lane: the whole workload lifecycle —
+            # stages, flows, NoC links, HBM channels — is compiled by
+            # TableProgram below, so no object NoC model exists.
+            from .engine_table import TableEngine
+
+            self.engine = TableEngine()
+            self.noc = None
         else:
             self.engine = Engine()
             self.noc = NocModel(
@@ -469,6 +479,12 @@ class SystemSimulator:
         # Map (kind, label) of relayed flows (HBM / storage residuals) to the
         # consumer stage and flow index expecting them.
         self._relay_targets: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        if engine == "table":
+            from .system_table import TableProgram
+
+            self._table: Optional["TableProgram"] = TableProgram(self)
+        else:
+            self._table = None
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -838,19 +854,77 @@ class SystemSimulator:
             self._last_completion_cycle = now
         self.tracer.record_stage_completion(stage_id, now)
 
+    def snapshot_activity(self):
+        """Mid-run snapshot of counters and per-cluster/stage/link activity.
+
+        Returns ``(counters, clusters, stages, links)``: the aggregate
+        traffic counters ``(now, hbm_bytes, noc_bytes, noc_byte_hops,
+        local_bytes, n_transfers)``, per-cluster 6-tuples ``(analog,
+        digital, communication, synchronization, jobs, last_busy_cycle)``,
+        per-stage 7-tuples ``(jobs_completed, analog_busy, digital_busy,
+        input_stall, output_stall, first_job_start, last_job_end)`` and a
+        per-link busy-cycles dict.  The steady-state prober reads this at
+        every final-stage completion; the hook exists because the table
+        engine accumulates cluster/link activity in dense vectors that
+        only materialise into the tracer at the end of the run.
+        """
+        if self._table is not None:
+            return self._table.snapshot_activity()
+        tracer = self.tracer
+        counters = (
+            self.engine._now,
+            tracer.hbm_bytes,
+            tracer.noc_bytes,
+            tracer.noc_byte_hops,
+            tracer.local_bytes,
+            tracer.n_transfers,
+        )
+        clusters = {
+            cid: (
+                act.analog,
+                act.digital,
+                act.communication,
+                act.synchronization,
+                act.jobs,
+                act.last_busy_cycle,
+            )
+            for cid, act in tracer.clusters.items()
+        }
+        stages = {
+            sid: (
+                rec.jobs_completed,
+                rec.analog_busy,
+                rec.digital_busy,
+                rec.input_stall,
+                rec.output_stall,
+                rec.first_job_start,
+                rec.last_job_end,
+            )
+            for sid, rec in tracer.stages.items()
+        }
+        return counters, clusters, stages, dict(tracer.link_busy)
+
     def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
         """Run the workload to completion and return the results."""
-        self._build()
-        # Stages with no inputs at all (rare: constant generators) start
-        # immediately.
-        for runtime in self._stages.values():
-            if not runtime.desc.inputs:
-                runtime._try_start()
-        self.engine.run(until=max_cycles)
-        jobs_completed = {
-            stage_id: runtime.jobs_completed
-            for stage_id, runtime in self._stages.items()
-        }
+        if self._table is not None:
+            table = self._table
+            table.build()
+            table.start()
+            self.engine.run(until=max_cycles)
+            table.finalize()
+            jobs_completed = table.jobs_completed_by_stage()
+        else:
+            self._build()
+            # Stages with no inputs at all (rare: constant generators) start
+            # immediately.
+            for runtime in self._stages.values():
+                if not runtime.desc.inputs:
+                    runtime._try_start()
+            self.engine.run(until=max_cycles)
+            jobs_completed = {
+                stage_id: runtime.jobs_completed
+                for stage_id, runtime in self._stages.items()
+            }
         incomplete = {
             sid: count
             for sid, count in jobs_completed.items()
@@ -863,6 +937,13 @@ class SystemSimulator:
                 "data-flow graph is inconsistent"
             )
         makespan = self.tracer.makespan
+        engine = self.engine
+        if isinstance(engine, ArrayEngine) and not engine._times:
+            # drained run: drop the peak-size typed-row storage so a
+            # long-lived holder of this simulator (sweep workers, the
+            # steady-state prober) does not retain it (see
+            # ``ArrayEngine.reset``).
+            engine.reset()
         final_stage = self.workload.final_stage()
         final_trace = self.tracer.stage_completions.get(final_stage.stage_id, ())
         return SimulationResult(
@@ -899,10 +980,14 @@ def simulate(
 
     ``engine`` selects the event kernel: ``"array"`` (default) runs the
     array-native kernel (:mod:`repro.sim.engine_array` /
-    :mod:`repro.sim.noc_array`), ``"python"`` the original object kernel.
-    The two produce bit-identical results (asserted in
-    ``tests/test_sim_kernel_equivalence.py``); the switch exists as the
-    safety net and as a sweepable scenario axis.
+    :mod:`repro.sim.noc_array`), ``"python"`` the original object kernel,
+    and ``"table"`` the compiled state-machine lane
+    (:mod:`repro.sim.engine_table` / :mod:`repro.sim.system_table`), which
+    replaces the per-event callbacks with opcode dispatch over flat state
+    vectors.  All three produce bit-identical results (asserted in
+    ``tests/test_sim_kernel_equivalence.py`` and
+    ``tests/test_sim_engine_table.py``); the switches exist as safety nets
+    and as a sweepable scenario axis.
     """
     if engine not in SIMULATION_ENGINES:
         raise ValueError(

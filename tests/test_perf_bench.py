@@ -97,6 +97,20 @@ class TestComparison:
         assert "+150%" in message
         assert "limit +20%" in message
 
+    def test_missing_baselines_names_new_scenarios(self):
+        from repro.perf.bench import missing_baselines
+
+        old = {"micro_mvm.reference_s": 1.0, "micro_mvm.speedup": 2.0}
+        new = {
+            "micro_mvm.reference_s": 1.0,
+            "sim_engine_table.table_s": 0.1,
+            "sim_engine_table.table_speedup": 1.8,  # non-timing: ignored
+        }
+        assert missing_baselines(old, new) == ["sim_engine_table"]
+        assert missing_baselines(new, new) == []
+        # an empty baseline (e.g. a payload without "results") flags all
+        assert missing_baselines({}, old) == ["micro_mvm"]
+
     def test_configs_comparable_ignoring_repeats_and_scenarios(self):
         import json
 
@@ -177,6 +191,7 @@ class TestScenarios:
     def test_new_scenarios_are_in_the_default_gate(self):
         for scenarios in (BenchConfig().scenarios, BenchConfig.quick().scenarios):
             assert "sim_engine" in scenarios
+            assert "sim_engine_table" in scenarios
             assert "large_batch_sim" in scenarios
 
 
@@ -227,6 +242,27 @@ class TestCLI:
         )
         assert main(self._argv(tmp_path, "--check")) == 0
         assert "skipping regression comparison" in capsys.readouterr().out
+
+    def test_check_skips_scenarios_missing_from_baseline(self, tmp_path, capsys):
+        # the baseline predates the micro_mvm scenario entirely: the gate
+        # must say so and pass, not die on the missing keys.
+        write_results(
+            tmp_path / "BENCH_PR1.json",
+            {"sim_engine.kernel_s": 1e9},
+            BenchConfig.quick(),
+        )
+        assert main(self._argv(tmp_path, "--check")) == 0
+        printed = capsys.readouterr().out
+        assert "new scenario 'micro_mvm'" in printed
+        assert "skipped" in printed
+
+    def test_check_tolerates_payload_without_results(self, tmp_path, capsys):
+        from dataclasses import asdict
+
+        payload = {"schema": 1, "config": asdict(BenchConfig.quick())}
+        (tmp_path / "BENCH_PR1.json").write_text(json.dumps(payload))
+        assert main(self._argv(tmp_path, "--check")) == 0
+        assert "new scenario 'micro_mvm'" in capsys.readouterr().out
 
     def test_quick_reruns_overwrite_quick_file_only(self, tmp_path):
         assert main(self._argv(tmp_path)) == 0

@@ -118,6 +118,60 @@ class TestRowStorage:
         engine.run()
         assert len(engine.pending_rows()) == 0
 
+    def test_reset_releases_row_storage(self):
+        """Post-run compaction drops the peak-size columns and free list."""
+        engine = ArrayEngine()
+        for start in range(8):
+            engine.defer_at(start, 1, lambda: None)
+        engine.run()
+        assert len(engine._row_kind) > 0 and engine._free_rows
+        engine.reset()
+        assert engine._row_kind == []
+        assert engine._row_cycles == []
+        assert engine._row_callback == []
+        assert engine._free_rows == []
+        # the engine stays usable after compaction
+        fired = []
+        engine.defer_at(20, 2, lambda: fired.append(True))
+        engine.run()
+        assert fired == [True]
+
+    def test_reset_refuses_pending_events(self):
+        """A reset must never orphan a live row index sitting in a bucket."""
+        engine = ArrayEngine()
+        engine.defer_at(5, 1, lambda: None)
+        with pytest.raises(SimulationError, match="pending"):
+            engine.reset()
+        engine.run()
+        engine.reset()  # drained: now legal
+
+    def test_reset_refuses_reentrant_call(self):
+        engine = ArrayEngine()
+        errors = []
+
+        def from_inside():
+            try:
+                engine.reset()
+            except SimulationError as error:
+                errors.append(str(error))
+
+        engine.at(1, from_inside)
+        engine.run()
+        assert errors and "inside run()" in errors[0]
+
+    def test_simulator_run_compacts_a_drained_engine(self):
+        """SystemSimulator.run() resets the typed-row storage after the
+        batch loop drains, so long-lived workers do not retain peak-size
+        columns between scenarios."""
+        from test_sim_fast_forward import ARCH64, _chain
+        from repro.sim.system import SystemSimulator
+
+        for engine_name in ("array", "table"):
+            simulator = SystemSimulator(ARCH64, _chain(n_jobs=8), engine=engine_name)
+            simulator.run()
+            assert simulator.engine._row_kind == []
+            assert simulator.engine._free_rows == []
+
 
 class TestBatchDispatch:
     def test_large_same_cycle_run_dispatches_in_row_order(self):

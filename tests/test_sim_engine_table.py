@@ -1,0 +1,252 @@
+"""Bit-identity and unit coverage of the compiled table lane.
+
+The table kernel (``engine="table"``) compiles ``_StageRuntime``'s per-job
+lifecycle into integer transition tables (:mod:`repro.sim.system_table`)
+dispatched through :class:`~repro.sim.engine_table.TableEngine`'s opcode
+lane.  Its acceptance contract is the same as the array kernel's: *bit
+identical results* on every workload, contention mode and buffer depth —
+the existing two-way harness (``tests/test_sim_kernel_equivalence.py``)
+stays untouched and this module extends the same matrix to three kernels.
+
+Coverage layers:
+
+* ``TableEngine`` unit tests: opcode scheduling/deferral semantics, FIFO
+  interleaving with callables and callback rows, mid-batch ``max_events``
+  truncation with in-order resume, the exception-safe tail requeue, and
+  post-run :meth:`~repro.sim.engine_array.ArrayEngine.reset`;
+* the synthetic + zoo shapes shared with the fast-forward suite, table vs
+  both other kernels;
+* the seeded randomized property sweep (same generator and seeds as the
+  two-way harness), table vs the object kernel reference;
+* bounded runs: the steady-state fast-forward on top of the table kernel
+  (probing drives ``until``/``max_events`` through the callback-lane
+  fallback);
+* the ``engine`` cache-key axis with three distinct values.
+"""
+
+import pytest
+
+from repro.scenarios.fingerprint import simulation_key
+from repro.sim import assert_results_identical, result_mismatches, simulate
+from repro.sim.engine import SimulationError
+from repro.sim.engine_table import K_OP_BASE, TableEngine
+from repro.sim.system import SIMULATION_ENGINES
+
+from test_sim_fast_forward import ARCH64, SYNTHETIC, ZOO, _chain, _zoo_workload
+from test_sim_kernel_equivalence import _random_workload
+import random
+
+
+# --------------------------------------------------------------------------- #
+# TableEngine: the opcode lane
+# --------------------------------------------------------------------------- #
+class TestTableEngine:
+    def _engine(self, log):
+        engine = TableEngine()
+        engine.set_handlers((lambda arg: log.append(arg),))
+        return engine
+
+    def test_sched_op_dispatches_through_the_jump_table(self):
+        log = []
+        engine = self._engine(log)
+        engine.sched_op(5, K_OP_BASE, "b")
+        engine.sched_op(2, K_OP_BASE, "a")
+        engine.sched_op(5, K_OP_BASE, "c")
+        assert engine.run() == 5
+        assert log == ["a", "b", "c"]
+        assert engine.events_processed == 3
+
+    def test_op_rows_interleave_with_callables_in_fifo_order(self):
+        log = []
+        engine = self._engine(log)
+        engine.at(3, lambda: log.append("cb1"))
+        engine.sched_op(3, K_OP_BASE, "op")
+        engine.at(3, lambda: log.append("cb2"))
+        engine.run()
+        assert log == ["cb1", "op", "cb2"]
+
+    def test_defer_op_requeues_at_dispatch_time(self):
+        # the deferral is two events: the row dispatches at time 2 and
+        # re-queues itself into bucket 5, landing *after* the callable
+        # that was already scheduled there.
+        log = []
+        engine = self._engine(log)
+        engine.at(5, lambda: log.append("resident"))
+        engine.defer_op(2, 3, K_OP_BASE, "deferred")
+        engine.run()
+        assert log == ["resident", "deferred"]
+        assert engine.events_processed == 3  # callable + row twice
+
+    def test_zero_cycle_deferral_appends_to_the_active_bucket_tail(self):
+        log = []
+        engine = self._engine(log)
+        engine.defer_op(0, 0, K_OP_BASE, "deferred")
+        engine.at(0, lambda: log.append("same-bucket"))
+        engine.run()
+        assert log == ["same-bucket", "deferred"]
+
+    def test_max_events_truncates_between_op_rows_and_resumes_in_order(self):
+        log = []
+        engine = self._engine(log)
+        for tag in ("a", "b", "c"):
+            engine.sched_op(4, K_OP_BASE, tag)
+        engine.run(max_events=2)  # bounded: delegates to the array loop
+        assert log == ["a", "b"]
+        engine.run()  # the unbounded inlined loop resumes mid-bucket
+        assert log == ["a", "b", "c"]
+        assert engine.now == 4
+
+    def test_handler_exception_requeues_the_unprocessed_tail(self):
+        log = []
+        engine = TableEngine()
+
+        def boom(arg):
+            raise RuntimeError(arg)
+
+        engine.set_handlers((lambda arg: log.append(arg), boom))
+        engine.sched_op(1, K_OP_BASE + 1, "kaboom")
+        engine.sched_op(1, K_OP_BASE, "survivor")
+        with pytest.raises(RuntimeError, match="kaboom"):
+            engine.run()
+        engine.run()
+        assert log == ["survivor"]
+
+    def test_scheduling_in_the_past_and_negative_deferrals_raise(self):
+        engine = self._engine([])
+        engine.sched_op(3, K_OP_BASE, None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.sched_op(1, K_OP_BASE, None)
+        with pytest.raises(SimulationError):
+            engine.defer_op(1, 2, K_OP_BASE, None)
+        with pytest.raises(SimulationError):
+            engine.defer_op(5, -1, K_OP_BASE, None)
+
+    def test_reset_compacts_both_lanes_and_engine_stays_usable(self):
+        log = []
+        engine = self._engine(log)
+        engine.sched_op(1, K_OP_BASE, "x")
+        engine.defer_at(1, 4, lambda: log.append("y"))
+        engine.run()
+        assert log == ["x", "y"]
+        engine.reset()
+        assert len(engine.pending_rows()) == 0
+        engine.sched_op(6, K_OP_BASE, "z")
+        engine.run()
+        assert log == ["x", "y", "z"]
+
+    def test_reset_with_pending_events_raises(self):
+        engine = self._engine([])
+        engine.sched_op(9, K_OP_BASE, None)
+        with pytest.raises(SimulationError):
+            engine.reset()
+
+
+# --------------------------------------------------------------------------- #
+# Three-way bit identity on known shapes
+# --------------------------------------------------------------------------- #
+class TestThreeWayKnownShapes:
+    @pytest.mark.parametrize(
+        "name,workload,_must_engage",
+        SYNTHETIC,
+        ids=[case[0] for case in SYNTHETIC],
+    )
+    @pytest.mark.parametrize("model_contention", [True, False], ids=["cont", "nocont"])
+    def test_synthetic_pipelines_identical(self, name, workload, _must_engage,
+                                           model_contention):
+        python = simulate(ARCH64, workload, model_contention, engine="python")
+        table = simulate(ARCH64, workload, model_contention, engine="table")
+        assert result_mismatches(python, table) == []
+
+    @pytest.mark.parametrize(
+        "name,model,shape,level,batch,clusters,classes,crossbar,_must_engage",
+        ZOO,
+        ids=[case[0] for case in ZOO],
+    )
+    def test_zoo_mappings_identical(
+        self, name, model, shape, level, batch, clusters, classes, crossbar,
+        _must_engage,
+    ):
+        arch, workload = _zoo_workload(
+            model, shape, level, batch, clusters, classes, crossbar
+        )
+        array = simulate(arch, workload, engine="array")
+        table = simulate(arch, workload, engine="table")
+        assert_results_identical(array, table)
+
+    def test_payloads_identical_including_stage_completions(self):
+        arch, workload = _zoo_workload("tiny_cnn", (3, 32, 32), "final", 16, 16, 10, 128)
+        python = simulate(arch, workload, engine="python")
+        table = simulate(arch, workload, engine="table")
+        assert result_mismatches(python, table) == []
+        python_payload = python.to_payload()
+        table_payload = table.to_payload()
+        assert type(python_payload.pop("tracer")) is type(table_payload.pop("tracer"))
+        assert python_payload == table_payload
+
+
+# --------------------------------------------------------------------------- #
+# Seeded randomized property sweep (same seeds as the two-way harness)
+# --------------------------------------------------------------------------- #
+class TestThreeWayRandomized:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_pipelines_identical(self, seed):
+        rng = random.Random(1000 + seed)
+        workload = _random_workload(rng)
+        model_contention = rng.random() < 0.7
+        buffer_depth = rng.choice([1, 2, 5])
+        python = simulate(
+            ARCH64, workload, model_contention, buffer_depth, engine="python"
+        )
+        table = simulate(
+            ARCH64, workload, model_contention, buffer_depth, engine="table"
+        )
+        mismatches = result_mismatches(python, table)
+        assert mismatches == [], f"seed {seed}: {mismatches}"
+
+
+# --------------------------------------------------------------------------- #
+# Bounded runs: fast-forward probing on top of the table kernel
+# --------------------------------------------------------------------------- #
+class TestBoundedRunEquivalence:
+    @pytest.mark.parametrize(
+        "name,workload,must_engage",
+        SYNTHETIC,
+        ids=[case[0] for case in SYNTHETIC],
+    )
+    def test_fast_forward_on_table_kernel(self, name, workload, must_engage):
+        full = simulate(ARCH64, workload, engine="table")
+        ff = simulate(ARCH64, workload, fast_forward=True, engine="table")
+        if must_engage:
+            assert ff.fast_forwarded, f"{name}: fast-forward failed to engage"
+        assert result_mismatches(full, ff, ignore_provenance=True) == []
+
+    def test_fast_forward_identical_across_all_kernels(self):
+        workload = _chain(n_jobs=96, replication=2)
+        results = {
+            engine: simulate(ARCH64, workload, fast_forward=True, engine=engine)
+            for engine in SIMULATION_ENGINES
+        }
+        assert all(r.fast_forwarded for r in results.values())
+        assert result_mismatches(results["python"], results["table"]) == []
+        assert result_mismatches(results["array"], results["table"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# The engine axis: three distinct, separately-keyed values
+# --------------------------------------------------------------------------- #
+class TestEngineAxis:
+    def test_table_is_a_registered_engine(self):
+        assert SIMULATION_ENGINES == ("array", "python", "table")
+
+    def test_three_engines_key_separately(self):
+        keys = {
+            simulation_key("a", "w", True, 2, engine=engine)
+            for engine in SIMULATION_ENGINES
+        }
+        assert len(keys) == 3
+
+    def test_unknown_engine_rejected(self):
+        workload = _chain(n_jobs=4)
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            simulate(ARCH64, workload, engine="compiled")
