@@ -20,6 +20,21 @@ from .mapping import (
     build_mapping,
 )
 from .optimizer import MappingOptimizer, OptimizationLevel
+from .policies import (
+    FinalPolicy,
+    MappingPolicy,
+    NaivePolicy,
+    PipelinedPolicy,
+    PolicyError,
+    ReplicatedPolicy,
+    SchedulePolicy,
+    SpatialPatternPolicy,
+    available_policies,
+    layer_pattern,
+    policy_class,
+    register_policy,
+    resolve_policy,
+)
 from .pipeline import (
     NETWORK_INPUT_LABEL,
     NETWORK_OUTPUT_LABEL,
@@ -37,31 +52,44 @@ __all__ = [
     "AnalogJobCost",
     "BalanceResult",
     "ClusterAllocator",
+    "FinalPolicy",
     "LayerMapping",
     "LayerSplit",
     "MappingOptimizer",
     "MappingOptions",
+    "MappingPolicy",
     "MappingRecord",
+    "NaivePolicy",
     "NETWORK_INPUT_LABEL",
     "NETWORK_OUTPUT_LABEL",
     "NetworkMapping",
     "OptimizationLevel",
+    "PipelinedPolicy",
+    "PolicyError",
     "RESIDUAL_BUFFER_DEPTH",
     "ReductionLevel",
     "ReductionPlan",
+    "ReplicatedPolicy",
     "ResidualEdge",
     "ResidualPlan",
+    "SchedulePolicy",
+    "SpatialPatternPolicy",
     "TilingPlan",
     "analog_job_cost",
     "assign_groups",
+    "available_policies",
     "balance_pipeline",
     "broadcast_bytes_per_job",
     "build_mapping",
     "digital_job_cycles",
     "digital_job_ops",
+    "layer_pattern",
     "lower_to_workload",
     "naive_cluster_count",
     "partial_sum_bytes_per_job",
+    "policy_class",
     "reduction_job_cycles",
     "reduction_job_ops",
+    "register_policy",
+    "resolve_policy",
 ]

@@ -38,7 +38,10 @@ from .tiling import TilingPlan
 #: their *inputs* — so a persisted payload can go stale when either the
 #: payload structure or the algorithms behind it change.  Bump this on any
 #: such change; loaders reject mismatched payloads and rebuild.
-MAPPING_PAYLOAD_VERSION = 1
+#:
+#: v2: added the ``policy`` provenance field (the mapping-policy label that
+#: produced the mapping) to the payload and to :class:`MappingRecord`.
+MAPPING_PAYLOAD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -137,6 +140,9 @@ class MappingRecord:
     local_mapping_efficiency: float
     total_crossbars: int
     total_stored_params: int
+    #: label of the mapping policy that produced the mapping ("" for
+    #: mappings built directly from :func:`build_mapping`).
+    policy: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary (JSON-safe) rendering of the declared fields."""
@@ -159,6 +165,10 @@ class NetworkMapping:
     layers: Dict[int, LayerMapping]
     residuals: ResidualPlan
     groups: Dict[int, int]
+    #: label of the :class:`~repro.core.policies.MappingPolicy` that built
+    #: this mapping (provenance only — never part of content keys; "" for
+    #: mappings built directly from :func:`build_mapping`).
+    policy: str = ""
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics (feed the Fig. 6 waterfall and Fig. 7 grouping)
@@ -257,6 +267,7 @@ class NetworkMapping:
             },
             "residuals": dataclasses.asdict(self.residuals),
             "groups": dict(self.groups),
+            "policy": self.policy,
         }
 
     @classmethod
@@ -297,6 +308,7 @@ class NetworkMapping:
                 buffering=residuals["buffering"],
             ),
             groups=dict(payload["groups"]),
+            policy=payload["policy"],
         )
 
     def record(self) -> MappingRecord:
@@ -310,6 +322,7 @@ class NetworkMapping:
             local_mapping_efficiency=self.local_mapping_efficiency,
             total_crossbars=self.total_crossbars,
             total_stored_params=self.total_stored_params,
+            policy=self.policy,
         )
 
     def summary(self) -> str:

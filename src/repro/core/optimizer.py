@@ -13,36 +13,51 @@ The paper evaluates three successive mappings of ResNet-18:
   of spare clusters instead of HBM, removing the communication bottleneck
   (Fig. 5D).
 
-:class:`MappingOptimizer` produces the three mappings for any network, and
+:class:`MappingOptimizer` produces the ladder mappings for any network, and
 is the main entry point used by the runner, the examples and the
-benchmarks.
+benchmarks.  The ladder itself — and every other mapping strategy — now
+lives in the policy registry (:mod:`repro.core.policies`); the enum and the
+``options_for``/``build`` methods below delegate to the registered ladder
+policies and are kept as the stable, paper-facing spelling.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..arch.config import ArchConfig
 from ..dnn.graph import Graph
-from .mapping import MappingOptions, NetworkMapping, build_mapping
+from .mapping import MappingOptions, NetworkMapping
 from .replication import BalanceResult, balance_pipeline
-from .residuals import ResidualPlan
 from .tiling import TilingPlan
 
 
 class OptimizationLevel(enum.Enum):
-    """The three mapping design points evaluated in the paper."""
+    """The mapping design points of the paper's optimisation ladder.
+
+    ``NAIVE``, ``REPLICATED`` and ``FINAL`` are the three ResNet-18 design
+    points of Fig. 5; ``PIPELINED`` is the intermediate step between naive
+    and replicated (digital-layer parallelisation without analog
+    replication).  Each member names the registered mapping policy that
+    implements it.
+    """
 
     NAIVE = "naive"
+    PIPELINED = "pipelined"
     REPLICATED = "replicated"
     FINAL = "final"
 
     @classmethod
     def all(cls) -> tuple:
-        """All levels, in the order the paper presents them."""
+        """The three Fig. 5 design points, in the order the paper presents them."""
         return (cls.NAIVE, cls.REPLICATED, cls.FINAL)
+
+    @classmethod
+    def ladder(cls) -> tuple:
+        """The full four-step ladder, naive through final."""
+        return (cls.NAIVE, cls.PIPELINED, cls.REPLICATED, cls.FINAL)
 
 
 @dataclass
@@ -79,32 +94,23 @@ class MappingOptimizer:
         return self._balance
 
     # ------------------------------------------------------------------ #
-    def options_for(self, level: OptimizationLevel) -> MappingOptions:
-        """Mapping options implementing one optimisation level."""
-        if level is OptimizationLevel.NAIVE:
-            return MappingOptions(
-                batch_size=self.batch_size,
-                residual_mode=ResidualPlan.MODE_HBM,
-                name="naive",
-            )
-        balance = self.balance()
-        residual_mode = (
-            ResidualPlan.MODE_SPARE_L1
-            if level is OptimizationLevel.FINAL
-            else ResidualPlan.MODE_HBM
-        )
-        return MappingOptions(
-            batch_size=self.batch_size,
-            replication=dict(balance.replication),
-            parallelization=dict(balance.parallelization),
-            residual_mode=residual_mode,
-            name=level.value,
-        )
+    def options_for(self, level: Any) -> MappingOptions:
+        """Mapping options implementing one optimisation level (or policy).
 
-    def build(self, level: OptimizationLevel) -> NetworkMapping:
-        """Build the mapping for one optimisation level."""
-        options = self.options_for(level)
-        return build_mapping(self.graph, self.arch, options, tiling=self._tiling)
+        ``level`` accepts everything
+        :func:`~repro.core.policies.resolve_policy` does: an
+        :class:`OptimizationLevel` member, a registered policy name, an
+        inline ``{"policy": ...}`` mapping or a policy instance.
+        """
+        from .policies import resolve_policy
+
+        return resolve_policy(level).options(self)
+
+    def build(self, level: Any) -> NetworkMapping:
+        """Build the mapping for one optimisation level (or policy)."""
+        from .policies import resolve_policy
+
+        return resolve_policy(level).build(self)
 
     def build_all(self) -> Dict[OptimizationLevel, NetworkMapping]:
         """Build all three mappings (Fig. 5A's x-axis)."""

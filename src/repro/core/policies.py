@@ -1,0 +1,572 @@
+"""Pluggable mapping policies (the strategy seam behind the Fig. 5 ladder).
+
+The paper evaluates a fixed ladder of mappings — naive, pipelined,
+replicated, final — which earlier revisions hard-coded as
+:class:`~repro.core.optimizer.OptimizationLevel`.  This module generalises
+that ladder into a *registry of named policies*: a
+:class:`MappingPolicy` turns a :class:`~repro.core.optimizer.MappingOptimizer`
+(graph + arch + shared tiling/balance passes) into
+:class:`~repro.core.mapping.MappingOptions`, and :meth:`MappingPolicy.build`
+materialises the :class:`~repro.core.mapping.NetworkMapping`.
+
+Built-in policies:
+
+* the four ladder levels (``naive``, ``pipelined``, ``replicated``,
+  ``final``) — bit-identical to the historical enum path, including their
+  cache keys: their :meth:`~MappingPolicy.fingerprint_token` returns the
+  :class:`OptimizationLevel` member itself, so artifacts persisted before
+  the registry existed stay addressable;
+* ``spatial`` — per-layer-pattern replication rules (depthwise / pointwise /
+  dense / generic conv special-cased) layered over the ordinary
+  :class:`~repro.core.splits.LayerSplit` placement;
+* ``schedule`` — explicit per-layer replication/parallelisation factors
+  loaded from a user-supplied TOML/JSON file and validated against the
+  graph and architecture.  Its fingerprint token hashes the file's
+  *contents*, never its path.
+
+Registering a policy is one decorator::
+
+    @register_policy
+    @dataclass(frozen=True)
+    class MyPolicy(MappingPolicy):
+        name = "mine"
+        description = "..."
+        knob: int = 2
+
+        def options(self, optimizer):
+            ...
+
+Policies must be frozen dataclasses of plain data: they are hashed into
+cache keys, carried inside :class:`~repro.scenarios.spec.Scenario` fields
+and pickled to sweep workers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, ClassVar, Dict, Mapping, Tuple, Type
+
+from ..dnn.graph import Node
+from .mapping import MappingOptions, NetworkMapping, build_mapping
+from .residuals import ResidualPlan
+
+
+class PolicyError(ValueError):
+    """Raised for unknown policy names, bad parameters or invalid schedules."""
+
+
+# --------------------------------------------------------------------------- #
+# Protocol + registry
+# --------------------------------------------------------------------------- #
+class MappingPolicy:
+    """A named, parameterised strategy producing a network mapping.
+
+    Subclasses are frozen dataclasses whose fields are the policy's
+    parameters; :attr:`name` identifies the policy in the registry, in
+    scenario specs and on the CLI.
+    """
+
+    #: registry key; also the spelling accepted by ``Scenario(mapping=...)``.
+    name: ClassVar[str] = ""
+    #: one-line human description (shown by ``--list-policies``).
+    description: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------ #
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        """Mapping decisions for ``optimizer``'s graph/arch (override me)."""
+        raise NotImplementedError
+
+    def build(self, optimizer: "MappingOptimizer") -> NetworkMapping:
+        """Materialise the mapping, stamping policy provenance on it."""
+        mapping = build_mapping(
+            optimizer.graph,
+            optimizer.arch,
+            self.options(optimizer),
+            tiling=optimizer.tiling,
+        )
+        mapping.policy = self.label
+        return mapping
+
+    def fingerprint_token(self) -> Any:
+        """Plain-data value hashed into ``mapping_key``.
+
+        The default renders the policy as ``("policy", name, params)``; the
+        params come from the dataclass fields, so a named policy and the
+        equivalent inline spelling produce the same token.  Policies whose
+        parameters are indirect (e.g. a file path) must override this to
+        hash the *resolved* content instead.
+        """
+        params = tuple(
+            (f.name, getattr(self, f.name)) for f in dataclass_fields(self)
+        )
+        return ("policy", self.name, params)
+
+    @property
+    def label(self) -> str:
+        """Display label for reports (defaults to the registry name)."""
+        return self.name
+
+
+#: the live registry: policy name -> policy class.
+_REGISTRY: Dict[str, Type[MappingPolicy]] = {}
+
+
+def register_policy(cls: Type[MappingPolicy]) -> Type[MappingPolicy]:
+    """Class decorator adding a :class:`MappingPolicy` to the registry."""
+    name = cls.name
+    if not name or not isinstance(name, str):
+        raise PolicyError(
+            f"mapping policy {cls.__name__} must define a non-empty `name`"
+        )
+    if name in _REGISTRY:
+        raise PolicyError(f"mapping policy {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Names of every registered policy, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def policy_class(name: str) -> Type[MappingPolicy]:
+    """The registered class behind ``name`` (:class:`PolicyError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown mapping policy {name!r}; registered policies: "
+            f"{', '.join(available_policies())}"
+        ) from None
+
+
+def resolve_policy(spec: Any) -> MappingPolicy:
+    """Turn any accepted policy spelling into a :class:`MappingPolicy`.
+
+    Accepted spellings:
+
+    * a :class:`MappingPolicy` instance (returned as-is);
+    * an :class:`~repro.core.optimizer.OptimizationLevel` member or its
+      string value — the historical ladder spelling;
+    * a registered policy name (``"spatial"``);
+    * a mapping with a ``"policy"`` key naming the policy, remaining keys
+      passed as constructor parameters
+      (``{"policy": "schedule", "path": "sched.toml"}``), including the
+      frozen tuple-of-pairs form :class:`~repro.scenarios.spec.Scenario`
+      normalises mappings to.
+    """
+    import enum
+
+    if isinstance(spec, MappingPolicy):
+        return spec
+    if isinstance(spec, enum.Enum):
+        spec = spec.value
+    if isinstance(spec, str):
+        return _instantiate(policy_class(spec), {})
+    params = _thaw(spec)
+    if isinstance(params, dict):
+        params = dict(params)
+        name = params.pop("policy", None)
+        if not isinstance(name, str):
+            raise PolicyError(
+                "inline mapping-policy specs need a 'policy' key naming a "
+                f"registered policy; got {sorted(params)!r}"
+            )
+        return _instantiate(policy_class(name), params)
+    raise PolicyError(
+        f"cannot interpret {spec!r} as a mapping policy; expected a policy "
+        "instance, a registered name or a {'policy': name, ...} mapping"
+    )
+
+
+def _instantiate(cls: Type[MappingPolicy], params: Dict[str, Any]) -> MappingPolicy:
+    valid = {f.name for f in dataclass_fields(cls)}
+    unknown = sorted(set(params) - valid)
+    if unknown:
+        raise PolicyError(
+            f"unknown parameter(s) {', '.join(map(repr, unknown))} for mapping "
+            f"policy {cls.name!r}; accepted: {', '.join(sorted(valid)) or '(none)'}"
+        )
+    try:
+        return cls(**params)
+    except (TypeError, ValueError) as error:
+        raise PolicyError(
+            f"cannot construct mapping policy {cls.name!r}: {error}"
+        ) from None
+
+
+def _thaw(value: Any) -> Any:
+    """Undo the spec layer's hashable normalisation (tuple-of-pairs -> dict)."""
+    if isinstance(value, Mapping):
+        return {str(k): _thaw(v) for k, v in value.items()}
+    if isinstance(value, tuple) and value and all(
+        isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str)
+        for item in value
+    ):
+        return {k: _thaw(v) for k, v in value}
+    if isinstance(value, (list, tuple)):
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# The paper ladder, as policies
+# --------------------------------------------------------------------------- #
+class _LadderPolicy(MappingPolicy):
+    """Shared plumbing of the four paper ladder levels.
+
+    The fingerprint token is the :class:`OptimizationLevel` member itself —
+    NOT the generic ``("policy", ...)`` rendering — so ``mapping_key`` is
+    bit-identical to the pre-registry enum path and persisted artifacts
+    keyed under it stay warm.
+    """
+
+    def fingerprint_token(self) -> Any:
+        from .optimizer import OptimizationLevel
+
+        return OptimizationLevel(self.name)
+
+
+@register_policy
+@dataclass(frozen=True)
+class NaivePolicy(_LadderPolicy):
+    """Fig. 5B: fit every layer, no replication, residuals in HBM."""
+
+    name: ClassVar[str] = "naive"
+    description: ClassVar[str] = (
+        "paper ladder: no replication, residuals staged in HBM (Fig. 5B)"
+    )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            residual_mode=ResidualPlan.MODE_HBM,
+            name="naive",
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class PipelinedPolicy(_LadderPolicy):
+    """Digital-layer parallelisation only: the pipelining step of the ladder."""
+
+    name: ClassVar[str] = "pipelined"
+    description: ClassVar[str] = (
+        "paper ladder: parallelise digital layers, no analog replication"
+    )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        balance = optimizer.balance()
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            parallelization=dict(balance.parallelization),
+            residual_mode=ResidualPlan.MODE_HBM,
+            name="pipelined",
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class ReplicatedPolicy(_LadderPolicy):
+    """Fig. 5C: balance the pipeline by replicating analog bottlenecks."""
+
+    name: ClassVar[str] = "replicated"
+    description: ClassVar[str] = (
+        "paper ladder: replicate analog bottlenecks + parallelise digital "
+        "layers (Fig. 5C)"
+    )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        balance = optimizer.balance()
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            replication=dict(balance.replication),
+            parallelization=dict(balance.parallelization),
+            residual_mode=ResidualPlan.MODE_HBM,
+            name="replicated",
+        )
+
+
+@register_policy
+@dataclass(frozen=True)
+class FinalPolicy(_LadderPolicy):
+    """Fig. 5D: the replicated mapping with residuals in spare-cluster L1."""
+
+    name: ClassVar[str] = "final"
+    description: ClassVar[str] = (
+        "paper ladder: replicated mapping with residuals parked in spare-"
+        "cluster L1 (Fig. 5D)"
+    )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        balance = optimizer.balance()
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            replication=dict(balance.replication),
+            parallelization=dict(balance.parallelization),
+            residual_mode=ResidualPlan.MODE_SPARE_L1,
+            name="final",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Per-layer-pattern spatial policy
+# --------------------------------------------------------------------------- #
+def layer_pattern(node: Node) -> str:
+    """Classify a graph node into a spatial-mapping pattern.
+
+    ``depthwise`` (grouped conv), ``pointwise`` (1x1 conv), ``conv``
+    (other convolutions), ``dense`` (linear layers) or ``digital``
+    (everything else).
+    """
+    if node.kind == "conv2d":
+        layer = node.layer
+        if getattr(layer, "groups", 1) > 1:
+            return "depthwise"
+        if getattr(layer, "kernel_size", 0) == 1:
+            return "pointwise"
+        return "conv"
+    if node.kind == "linear":
+        return "dense"
+    return "digital"
+
+
+@register_policy
+@dataclass(frozen=True)
+class SpatialPatternPolicy(MappingPolicy):
+    """Replication factors chosen per layer *pattern*, not per bottleneck.
+
+    The ladder's replicated/final policies replicate whatever layer the
+    balance pass finds slowest; this policy instead applies a fixed rule
+    per spatial pattern — the shape of MATCH-style per-pattern spatial
+    mappings — layered over the ordinary :class:`LayerSplit` placement:
+    each analog layer keeps its split grid and is replicated by the factor
+    of its pattern (capped at the optimizer's ``max_replication``), and
+    digital layers get a uniform parallelisation factor.
+    """
+
+    name: ClassVar[str] = "spatial"
+    description: ClassVar[str] = (
+        "per-layer-pattern replication (depthwise/pointwise/conv/dense "
+        "rules) over the standard LayerSplit placement"
+    )
+
+    #: replication factor per pattern (>= 1).
+    depthwise: int = 1
+    pointwise: int = 1
+    conv: int = 1
+    dense: int = 1
+    #: uniform parallelisation factor for digital layers (>= 1).
+    digital_parallel: int = 1
+    #: residual placement, "hbm" or "spare_l1".
+    residual_mode: str = ResidualPlan.MODE_HBM
+
+    def __post_init__(self) -> None:
+        for field_name in ("depthwise", "pointwise", "conv", "dense", "digital_parallel"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise PolicyError(
+                    f"spatial policy factor {field_name!r} must be an integer "
+                    f">= 1, got {value!r}"
+                )
+        if self.residual_mode not in (ResidualPlan.MODE_HBM, ResidualPlan.MODE_SPARE_L1):
+            raise PolicyError(
+                f"spatial policy residual_mode must be "
+                f"{ResidualPlan.MODE_HBM!r} or {ResidualPlan.MODE_SPARE_L1!r}, "
+                f"got {self.residual_mode!r}"
+            )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        replication: Dict[int, int] = {}
+        parallelization: Dict[int, int] = {}
+        for node in optimizer.graph.topological_order():
+            if not node.inputs:
+                continue
+            pattern = layer_pattern(node)
+            if node.is_analog:
+                factor = min(getattr(self, pattern), optimizer.max_replication)
+                if factor > 1:
+                    replication[node.node_id] = factor
+            elif self.digital_parallel > 1:
+                parallelization[node.node_id] = self.digital_parallel
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            replication=replication,
+            parallelization=parallelization,
+            residual_mode=self.residual_mode,
+            name=self.name,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# User-supplied schedule file policy
+# --------------------------------------------------------------------------- #
+@register_policy
+@dataclass(frozen=True)
+class SchedulePolicy(MappingPolicy):
+    """Explicit per-layer factors loaded from a TOML or JSON schedule file.
+
+    Schedule schema (TOML spelling; JSON is the same structure)::
+
+        name = "tiny-custom"          # optional display label
+        residual_mode = "spare_l1"    # optional, default "hbm"
+
+        [layers.conv2]                # layer name or numeric node id
+        replication = 4               # analog layers only
+
+        [layers.res3]
+        parallelization = 2           # digital layers only
+
+    Validation happens in two steps: structural/type checks when the file
+    is loaded (construction time), and graph/arch checks when the policy
+    is applied (layer references must resolve, replication only on analog
+    layers, parallelisation only on digital ones; cluster capacity is
+    enforced by the allocator as usual).
+
+    The fingerprint token hashes the parsed schedule *contents*, never the
+    path: editing the file changes every downstream cache key, and two
+    paths holding identical schedules share artifacts.
+    """
+
+    name: ClassVar[str] = "schedule"
+    description: ClassVar[str] = (
+        "explicit per-layer replication/parallelisation factors from a "
+        "user-supplied TOML/JSON schedule file"
+    )
+
+    #: path of the schedule file (TOML unless the suffix is ``.json``).
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise PolicyError(
+                "the 'schedule' policy needs a 'path' parameter pointing at "
+                "a TOML/JSON schedule file"
+            )
+        object.__setattr__(self, "_schedule", _load_schedule(self.path))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schedule(self) -> Dict[str, Any]:
+        """The parsed, structurally validated schedule contents."""
+        return self._schedule
+
+    @property
+    def label(self) -> str:
+        custom = self.schedule.get("name")
+        return f"schedule:{custom}" if custom else f"schedule:{Path(self.path).stem}"
+
+    def fingerprint_token(self) -> Any:
+        # Canonical JSON of the contents — the path itself never enters keys.
+        return (
+            "policy",
+            self.name,
+            json.dumps(self.schedule, sort_keys=True, separators=(",", ":")),
+        )
+
+    def options(self, optimizer: "MappingOptimizer") -> MappingOptions:
+        graph = optimizer.graph
+        by_name = {node.name: node for node in graph.nodes}
+        by_id = {node.node_id: node for node in graph.nodes}
+        replication: Dict[int, int] = {}
+        parallelization: Dict[int, int] = {}
+        for key, entry in self.schedule["layers"].items():
+            node = by_name.get(key)
+            if node is None and key.lstrip("-").isdigit():
+                node = by_id.get(int(key))
+            if node is None:
+                raise PolicyError(
+                    f"schedule {self.path!r} references layer {key!r}, which "
+                    f"is not in graph {graph.name!r} (layers: "
+                    f"{', '.join(sorted(by_name))})"
+                )
+            if "replication" in entry:
+                if not node.is_analog:
+                    raise PolicyError(
+                        f"schedule {self.path!r} sets replication on "
+                        f"{key!r} ({node.kind}), but only analog layers "
+                        "(conv2d/linear) replicate"
+                    )
+                replication[node.node_id] = entry["replication"]
+            if "parallelization" in entry:
+                if node.is_analog:
+                    raise PolicyError(
+                        f"schedule {self.path!r} sets parallelization on "
+                        f"{key!r} ({node.kind}), but only digital layers "
+                        "parallelise"
+                    )
+                parallelization[node.node_id] = entry["parallelization"]
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            replication=replication,
+            parallelization=parallelization,
+            residual_mode=self.schedule["residual_mode"],
+            name=self.label,
+        )
+
+
+def _load_schedule(path_str: str) -> Dict[str, Any]:
+    """Load and structurally validate a schedule file (TOML or JSON)."""
+    path = Path(path_str)
+    if not path.is_file():
+        raise PolicyError(f"schedule file {path_str!r} does not exist")
+    try:
+        if path.suffix.lower() == ".json":
+            raw = json.loads(path.read_text())
+        else:
+            import tomllib
+
+            raw = tomllib.loads(path.read_text())
+    except (json.JSONDecodeError, ValueError) as error:
+        raise PolicyError(f"cannot parse schedule file {path_str!r}: {error}") from None
+    if not isinstance(raw, dict):
+        raise PolicyError(f"schedule file {path_str!r} must be a table/object")
+
+    known = {"name", "residual_mode", "layers"}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise PolicyError(
+            f"schedule file {path_str!r} has unknown key(s) "
+            f"{', '.join(map(repr, unknown))}; accepted: {', '.join(sorted(known))}"
+        )
+    residual_mode = raw.get("residual_mode", ResidualPlan.MODE_HBM)
+    if residual_mode not in (ResidualPlan.MODE_HBM, ResidualPlan.MODE_SPARE_L1):
+        raise PolicyError(
+            f"schedule file {path_str!r}: residual_mode must be "
+            f"{ResidualPlan.MODE_HBM!r} or {ResidualPlan.MODE_SPARE_L1!r}, "
+            f"got {residual_mode!r}"
+        )
+    layers = raw.get("layers", {})
+    if not isinstance(layers, dict):
+        raise PolicyError(f"schedule file {path_str!r}: 'layers' must be a table")
+    clean_layers: Dict[str, Dict[str, int]] = {}
+    for key, entry in layers.items():
+        if not isinstance(entry, dict):
+            raise PolicyError(
+                f"schedule file {path_str!r}: layer {key!r} must be a table "
+                "of factors"
+            )
+        bad = sorted(set(entry) - {"replication", "parallelization"})
+        if bad:
+            raise PolicyError(
+                f"schedule file {path_str!r}: layer {key!r} has unknown "
+                f"key(s) {', '.join(map(repr, bad))}; accepted: "
+                "replication, parallelization"
+            )
+        for factor_name, factor in entry.items():
+            if not isinstance(factor, int) or isinstance(factor, bool) or factor < 1:
+                raise PolicyError(
+                    f"schedule file {path_str!r}: layer {key!r} "
+                    f"{factor_name} must be an integer >= 1, got {factor!r}"
+                )
+        clean_layers[str(key)] = {k: int(v) for k, v in entry.items()}
+    name = raw.get("name", "")
+    if not isinstance(name, str):
+        raise PolicyError(f"schedule file {path_str!r}: 'name' must be a string")
+    return {
+        "name": name,
+        "residual_mode": residual_mode,
+        "layers": clean_layers,
+    }

@@ -167,6 +167,7 @@ class BenchConfig:
         "sim_engine_array",
         "sim_engine_table",
         "large_batch_sim",
+        "mapping_policies",
     )
 
     @classmethod
@@ -584,6 +585,80 @@ def bench_large_batch_sim(config: BenchConfig) -> Dict[str, float]:
     return results
 
 
+def bench_mapping_policies(config: BenchConfig) -> Dict[str, float]:
+    """Mapping-stage cost of every registered policy, plus a policy sweep.
+
+    Each ``<policy>_s`` timing is a cold ``mapping_stage`` call (no cache):
+    optimizer construction, the balance pass where the policy needs one,
+    and cluster allocation — i.e. what a mapping-region cache miss costs
+    under each strategy.  The ladder policies share the balance pass
+    through the optimizer, so naive/pipelined vs replicated/final also
+    separates allocation cost from balance cost.  ``sweep_s`` runs the
+    ladder plus a user-supplied schedule file end-to-end through a cold
+    :class:`SweepRunner` — the mapping axis as a sweep dimension.
+    """
+    scenario = Scenario(
+        model=config.sweep_model,
+        input_shape=config.sweep_input,
+        num_classes=config.sweep_classes,
+        n_clusters=config.sweep_clusters[0],
+        crossbar_size=config.sweep_crossbars[0],
+        batch_size=config.sweep_batches[0],
+    )
+    graph = graph_stage(scenario)
+    arch = scenario.build_arch()
+    first_analog = next(
+        node.name for node in graph.nodes if node.inputs and node.is_analog
+    )
+    tmpdir = Path(tempfile.mkdtemp(prefix="bench-sched-"))
+    try:
+        schedule = tmpdir / "schedule.toml"
+        schedule.write_text(
+            f'name = "bench"\n\n[layers.{first_analog}]\nreplication = 2\n'
+        )
+        specs = {
+            "naive": "naive",
+            "pipelined": "pipelined",
+            "replicated": "replicated",
+            "final": "final",
+            # dense-layer replication only: modest enough to fit the quick
+            # config's 16-cluster system alongside the schedule scenario
+            "spatial": {"policy": "spatial", "dense": 2},
+            "schedule": {"policy": "schedule", "path": str(schedule)},
+        }
+        results: Dict[str, float] = {}
+        for name, spec in specs.items():
+            results[f"mapping_policies.{name}_s"] = _time(
+                lambda spec=spec: mapping_stage(
+                    graph, arch, scenario.batch_size, spec
+                ),
+                config.repeats,
+            )
+        grid = ScenarioGrid(
+            base=scenario,
+            axes=(
+                (
+                    "mapping",
+                    (
+                        "naive",
+                        "pipelined",
+                        "replicated",
+                        "final",
+                        {"policy": "schedule", "path": str(schedule)},
+                    ),
+                ),
+            ),
+        )
+        scenarios = grid.expand()
+        results["mapping_policies.sweep_s"] = _time(
+            lambda: SweepRunner(max_workers=1, cache=ArtifactCache()).run(scenarios),
+            config.repeats,
+        )
+        return results
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "micro_mvm": bench_micro_mvm,
     "analog_forward": bench_analog_forward,
@@ -595,6 +670,7 @@ SCENARIOS: Dict[str, Callable[[BenchConfig], Dict[str, float]]] = {
     "sim_engine_array": bench_sim_engine_array,
     "sim_engine_table": bench_sim_engine_table,
     "large_batch_sim": bench_large_batch_sim,
+    "mapping_policies": bench_mapping_policies,
 }
 
 

@@ -22,7 +22,7 @@ and re-running a sweep serves mappings and simulations from the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis.breakdown import ClusterBreakdownRow, cluster_breakdown
 from .analysis.efficiency import GroupEfficiencyRow, group_area_efficiency
@@ -32,6 +32,7 @@ from .analysis.waterfall import Waterfall, compute_waterfall
 from .arch.config import ArchConfig
 from .core.mapping import NetworkMapping
 from .core.optimizer import MappingOptimizer, OptimizationLevel
+from .core.policies import MappingPolicy, resolve_policy
 from .dnn.graph import Graph
 from .scenarios.cache import ArtifactCache
 from .scenarios.pipeline import (
@@ -48,7 +49,9 @@ from .sim.workload import Workload
 class InferenceReport:
     """Everything produced by one end-to-end run of the flow."""
 
-    level: OptimizationLevel
+    #: the ladder level that produced the mapping, ``None`` when the run
+    #: used a non-ladder policy (see :attr:`policy` for full provenance).
+    level: Optional[OptimizationLevel]
     mapping: NetworkMapping
     workload: Workload
     result: SimulationResult
@@ -56,6 +59,8 @@ class InferenceReport:
     waterfall: Optional[Waterfall] = None
     breakdown: List[ClusterBreakdownRow] = field(default_factory=list)
     group_efficiency: List[GroupEfficiencyRow] = field(default_factory=list)
+    #: the resolved mapping policy the run was built with.
+    policy: Optional[MappingPolicy] = None
 
     def format(self) -> str:
         """Human-readable report combining all computed analyses."""
@@ -71,7 +76,7 @@ def run_inference(
     graph: Graph,
     arch: Optional[ArchConfig] = None,
     batch_size: int = 16,
-    level: OptimizationLevel = OptimizationLevel.FINAL,
+    level: Any = OptimizationLevel.FINAL,
     with_waterfall: bool = False,
     with_breakdown: bool = True,
     with_group_efficiency: bool = False,
@@ -80,16 +85,21 @@ def run_inference(
 ) -> InferenceReport:
     """Map ``graph`` on ``arch``, simulate a batch, and analyse the result.
 
-    With a ``cache``, every stage (mapping build, lowering, simulation) is
-    served from previously computed artifacts when the inputs match.
+    ``level`` accepts any mapping-policy spelling
+    (:func:`~repro.core.policies.resolve_policy`): an
+    :class:`OptimizationLevel` member, a registered policy name, an inline
+    ``{"policy": ...}`` mapping or a policy instance.  With a ``cache``,
+    every stage (mapping build, lowering, simulation) is served from
+    previously computed artifacts when the inputs match.
     """
     arch = arch if arch is not None else ArchConfig.paper()
+    policy = resolve_policy(level)
     mapping = mapping_stage(
-        graph, arch, batch_size, level, optimizer=optimizer, cache=cache
+        graph, arch, batch_size, policy, optimizer=optimizer, cache=cache
     )
     workload = workload_stage(mapping, cache=cache)
     result = simulation_stage(arch, workload, cache=cache)
-    metrics = compute_metrics(result, mapping, name=f"{graph.name}-{level.value}")
+    metrics = compute_metrics(result, mapping, name=f"{graph.name}-{policy.label}")
 
     waterfall = None
     group_efficiency: List[GroupEfficiencyRow] = []
@@ -106,8 +116,11 @@ def run_inference(
             group_efficiency = group_area_efficiency(mapping, compute_only)
     breakdown = cluster_breakdown(result, mapping) if with_breakdown else []
 
+    token = policy.fingerprint_token()
+    ladder_level = token if isinstance(token, OptimizationLevel) else None
     return InferenceReport(
-        level=level,
+        level=ladder_level,
+        policy=policy,
         mapping=mapping,
         workload=workload,
         result=result,
@@ -122,18 +135,32 @@ def run_optimization_study(
     graph: Graph,
     arch: Optional[ArchConfig] = None,
     batch_size: int = 16,
-    levels: Optional[List[OptimizationLevel]] = None,
+    levels: Optional[List[Any]] = None,
     cache: Optional[ArtifactCache] = None,
     **kwargs,
-) -> Dict[OptimizationLevel, InferenceReport]:
+) -> Dict[Any, InferenceReport]:
     """Run the naive / replicated / final comparison of Fig. 5A.
 
+    ``levels`` may mix ladder levels and any other mapping-policy
+    spelling; entries resolving to the same policy are rejected (the study
+    would silently re-run — and re-report — the same design point twice).
     The mapping optimizer (and its pipeline-balance pass) is shared across
     levels — via the cache's optimizer region when a ``cache`` is given,
     via one explicit instance otherwise.
     """
+    from .scenarios.fingerprint import fingerprint
+
     arch = arch if arch is not None else ArchConfig.paper()
     levels = levels if levels is not None else list(OptimizationLevel.all())
+    seen: Dict[str, Any] = {}
+    for level in levels:
+        token = fingerprint(resolve_policy(level).fingerprint_token())
+        if token in seen:
+            raise ValueError(
+                f"run_optimization_study: {level!r} and {seen[token]!r} "
+                "resolve to the same mapping policy; drop the duplicate"
+            )
+        seen[token] = level
     optimizer = optimizer_stage(graph, arch, batch_size, cache=cache)
     return {
         level: run_inference(
@@ -149,7 +176,13 @@ def run_optimization_study(
     }
 
 
-def format_study(reports: Dict[OptimizationLevel, InferenceReport]) -> str:
-    """Comparison table of an optimisation study."""
-    ordered = [reports[level] for level in OptimizationLevel.all() if level in reports]
+def format_study(reports: Dict[Any, InferenceReport]) -> str:
+    """Comparison table of an optimisation study.
+
+    Ladder levels lead, in paper order; reports keyed by other policies
+    follow in insertion order.
+    """
+    ladder = [level for level in OptimizationLevel.ladder() if level in reports]
+    rest = [key for key in reports if key not in ladder]
+    ordered = [reports[key] for key in [*ladder, *rest]]
     return format_comparison([report.metrics for report in ordered])

@@ -29,6 +29,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..core.policies import available_policies, policy_class
 from ..sim.system import SIMULATION_ENGINES
 from .spec import load_spec
 from .store import ArtifactStore
@@ -78,7 +79,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.scenarios",
         description="Run a declarative experiment sweep (TOML/JSON spec file).",
     )
-    parser.add_argument("spec", type=Path, help="sweep spec file (.toml or .json)")
+    parser.add_argument(
+        "spec",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="sweep spec file (.toml or .json)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -124,13 +131,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine = \"...\" in the spec's [base] table",
     )
     parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help="pin the mapping policy for every scenario (a registered "
+        "policy name, see --list-policies) — equivalent to mapping = "
+        '"..." in the spec\'s [base] table',
+    )
+    parser.add_argument(
+        "--level",
+        default=None,
+        metavar="NAME",
+        help="deprecated alias of --policy (the ladder levels are "
+        "registered policies)",
+    )
+    parser.add_argument(
+        "--list-policies",
+        action="store_true",
+        help="print the registered mapping policies and exit",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the expanded scenarios and exit"
     )
     args = parser.parse_args(argv)
 
+    if args.list_policies:
+        for name in available_policies():
+            print(f"{name:<12} {policy_class(name).description}")
+        return 0
+    if args.spec is None:
+        parser.error("a spec file is required (or use --list-policies)")
+    policy = args.policy
+    if args.level is not None:
+        print(
+            "warning: --level is deprecated, use --policy (the ladder "
+            "levels are registered policies)",
+            file=sys.stderr,
+        )
+        if policy is None:
+            policy = args.level
+
     try:
         grid = load_spec(args.spec)
         scenarios = grid.expand()
+        if policy is not None:
+            scenarios = [s.replace(mapping=policy) for s in scenarios]
         if args.fast_forward:
             scenarios = [s.replace(fast_forward=True) for s in scenarios]
         if args.engine is not None:

@@ -216,10 +216,17 @@ def mapping_key(
     """Key of a built :class:`~repro.core.mapping.NetworkMapping`.
 
     Derived from the *inputs* of the mapping build (which is deterministic),
-    so a cache hit skips the optimizer entirely.
+    so a cache hit skips the optimizer entirely.  ``level`` is either an
+    :class:`~repro.core.optimizer.OptimizationLevel` member (the historical
+    spelling, hashed as the enum so pre-registry artifacts stay
+    addressable) or a :class:`~repro.core.policies.MappingPolicy`, which is
+    hashed through its ``fingerprint_token()`` — the *resolved* policy, so
+    a named policy and its equivalent inline spelling share a key, and a
+    schedule policy keys on the schedule's contents rather than its path.
     """
+    token = level.fingerprint_token() if hasattr(level, "fingerprint_token") else level
     return fingerprint(
-        ("mapping", graph_fp, arch_fp, batch_size, level, reserve_clusters, max_replication)
+        ("mapping", graph_fp, arch_fp, batch_size, token, reserve_clusters, max_replication)
     )
 
 

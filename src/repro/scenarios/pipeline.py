@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -49,6 +49,7 @@ from ..analysis.metrics import PerformanceMetrics, compute_metrics
 from ..arch.config import ArchConfig
 from ..core.mapping import MappingRecord, NetworkMapping
 from ..core.optimizer import MappingOptimizer, OptimizationLevel
+from ..core.policies import resolve_policy
 from ..core.pipeline import lower_to_workload
 from ..dnn.graph import Graph
 from ..dnn.numerics import ReferenceExecutor, initialize_parameters, random_input
@@ -124,23 +125,32 @@ def mapping_stage(
     graph: Graph,
     arch: ArchConfig,
     batch_size: int,
-    level: OptimizationLevel,
+    level: Any,
     *,
     optimizer: Optional[MappingOptimizer] = None,
     cache: Optional[ArtifactCache] = None,
     reserve_clusters: int = 4,
     max_replication: int = 64,
 ) -> NetworkMapping:
-    """Build (or reuse) the network mapping for one optimisation level.
+    """Build (or reuse) the network mapping for one mapping policy.
+
+    ``level`` accepts every spelling
+    :func:`~repro.core.policies.resolve_policy` does — an
+    :class:`OptimizationLevel` member (the historical name of this
+    parameter), a registered policy name, an inline ``{"policy": ...}``
+    mapping or a :class:`~repro.core.policies.MappingPolicy` instance —
+    and dispatches the build through the policy registry.
 
     The cache key derives from the *inputs* of the deterministic mapping
-    build, so a hit skips the optimizer (including its balance pass)
-    entirely.  A caller-supplied ``optimizer`` overrides ``batch_size`` and
-    the optimizer knobs (it was constructed with its own), and — when a
-    cache is in play — must have been built for this very ``graph`` and
+    build (the resolved policy's fingerprint token among them), so a hit
+    skips the optimizer (including its balance pass) entirely.  A
+    caller-supplied ``optimizer`` overrides ``batch_size`` and the
+    optimizer knobs (it was constructed with its own), and — when a cache
+    is in play — must have been built for this very ``graph`` and
     ``arch``: the key is computed from the arguments, so a foreign
     optimizer would poison the cache for every later caller.
     """
+    policy = resolve_policy(level)
     if optimizer is not None:
         if cache is not None and (
             optimizer.graph is not graph or optimizer.arch is not arch
@@ -168,7 +178,7 @@ def mapping_stage(
                 max_replication=max_replication,
                 cache=cache,
             )
-        return opt.build(level)
+        return policy.build(opt)
 
     if cache is None:
         return build()
@@ -176,7 +186,7 @@ def mapping_stage(
         graph_key(graph),
         arch_key(arch),
         batch_size,
-        level,
+        policy,
         reserve_clusters,
         max_replication,
     )
@@ -557,7 +567,7 @@ def run_scenario(
         graph,
         arch,
         scenario.batch_size,
-        scenario.level_enum,
+        scenario.mapping_policy,
         cache=cache,
         reserve_clusters=scenario.reserve_clusters,
         max_replication=scenario.max_replication,

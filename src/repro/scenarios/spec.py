@@ -56,6 +56,12 @@ from ..aimc.crossbar import BACKENDS as ANALOG_BACKENDS
 from ..aimc.noise import NOISE_PRESETS, NoiseModel, resolve_noise_spec
 from ..arch.config import ArchConfig
 from ..core.optimizer import OptimizationLevel
+from ..core.policies import (
+    MappingPolicy,
+    PolicyError,
+    available_policies,
+    resolve_policy,
+)
 from ..dnn import models as model_zoo
 from ..dnn.graph import Graph
 from ..sim.system import SIMULATION_ENGINES
@@ -260,7 +266,16 @@ class Scenario:
     input_shape: Tuple[int, int, int] = (3, 224, 224)
     num_classes: Optional[int] = None
     batch_size: int = 16
+    #: name of the mapping policy (the paper ladder levels are policies
+    #: too, so any registered name is accepted).  Ignored when ``mapping``
+    #: is set; kept as the stable historical spelling of the ladder.
     level: str = OptimizationLevel.FINAL.value
+    #: full mapping-policy spec: a registered policy name, or a mapping
+    #: with a ``policy`` key naming the policy plus its parameters, e.g.
+    #: ``{"policy": "schedule", "path": "sched.toml"}`` (normalised to a
+    #: sorted tuple of pairs so the spec stays hashable).  ``None`` falls
+    #: back to ``level``.
+    mapping: Optional[Union[str, Tuple[Tuple[str, object], ...]]] = None
     # -- architecture axes (ArchConfig.scaled) -------------------------- #
     n_clusters: Optional[int] = None
     crossbar_size: int = _PAPER_DEFAULTS["crossbar_size"]
@@ -302,13 +317,23 @@ class Scenario:
                 f"unknown model {self.model!r}; available: "
                 f"{', '.join(model_zoo.__all__)}"
             )
-        try:
-            OptimizationLevel(self.level)
-        except ValueError:
-            valid = ", ".join(l.value for l in OptimizationLevel.all())
+        if self.level not in available_policies():
+            # enumerate the live registry, not a hard-coded list: plug-in
+            # policies are first-class `level` values
+            valid = ", ".join(available_policies())
             raise SpecError(
-                f"unknown optimisation level {self.level!r}; expected one of {valid}"
+                f"unknown optimisation level {self.level!r}; registered "
+                f"mapping policies: {valid}"
             ) from None
+        if self.mapping is not None:
+            object.__setattr__(self, "mapping", _freeze_mapping(self.mapping))
+        try:
+            policy = self.mapping_policy
+        except PolicyError as error:
+            raise SpecError(str(error)) from None
+        # cache the display label: recomputing it would re-read schedule
+        # files on every table/log line
+        object.__setattr__(self, "_policy_label", policy.label)
         if len(tuple(self.input_shape)) != 3:
             raise SpecError("input_shape must be (channels, height, width)")
         object.__setattr__(self, "input_shape", tuple(int(d) for d in self.input_shape))
@@ -331,8 +356,25 @@ class Scenario:
     # ------------------------------------------------------------------ #
     @property
     def level_enum(self) -> OptimizationLevel:
-        """The mapping level as the optimizer's enum."""
+        """The mapping level as the optimizer's enum.
+
+        Only meaningful for the ladder levels; scenarios pinned to a
+        non-ladder policy (via ``mapping`` or a policy-valued ``level``)
+        raise :class:`ValueError` — use :attr:`mapping_policy` instead.
+        """
         return OptimizationLevel(self.level)
+
+    @property
+    def mapping_policy(self) -> MappingPolicy:
+        """The resolved mapping policy (``mapping`` block, else ``level``)."""
+        spec = self.mapping if self.mapping is not None else self.level
+        return resolve_policy(spec)
+
+    @property
+    def policy_label(self) -> str:
+        """Display label of the resolved mapping policy."""
+        label = getattr(self, "_policy_label", None)
+        return label if label is not None else self.mapping_policy.label
 
     @property
     def targets_paper_arch(self) -> bool:
@@ -370,8 +412,9 @@ class Scenario:
         """Short human-readable identifier used in tables and logs."""
         if self.name:
             return self.name
+        policy = self.level if self.mapping is None else self.policy_label
         label = (
-            f"{self.model}/{self.level}"
+            f"{self.model}/{policy}"
             f"/x{self.crossbar_size}/c{self.resolved_n_clusters}/b{self.batch_size}"
         )
         if self.execution is not None:
@@ -389,7 +432,44 @@ class Scenario:
         payload["execution"] = (
             self.execution.as_dict() if self.execution is not None else None
         )
+        if self.mapping is not None and not isinstance(self.mapping, str):
+            payload["mapping"] = dict(self.mapping)
         return payload
+
+
+def _freeze_mapping(
+    value: object,
+) -> Union[str, Tuple[Tuple[str, object], ...]]:
+    """Normalise a mapping-policy spec to the hashable spelling.
+
+    Policy instances collapse to their inline spelling so two scenarios
+    built from equivalent spellings compare (and fingerprint) equal.
+    """
+    if isinstance(value, MappingPolicy):
+        value = {
+            "policy": type(value).name,
+            **{
+                f.name: getattr(value, f.name)
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), v) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        try:
+            pairs = [(str(k), v) for k, v in value]
+        except (TypeError, ValueError):
+            raise SpecError(
+                "mapping must be a policy name or a {'policy': name, ...} "
+                f"table, not {type(value).__name__}"
+            ) from None
+        return tuple(sorted(pairs))
+    raise SpecError(
+        "mapping must be a policy name or a {'policy': name, ...} table, "
+        f"not {type(value).__name__}"
+    )
 
 
 _SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
@@ -492,6 +572,14 @@ def parse_spec(payload: Mapping[str, object], name: str = "sweep") -> ScenarioGr
             # coerce eagerly so a bad preset name fails at load time with
             # the spec diagnostic, not mid-sweep at expansion
             values = [ExecutionSpec.coerce(v) for v in values]
+        elif axis == "mapping":
+            # resolve eagerly for the same reason: unknown policies, bad
+            # parameters and broken schedule files fail at load time
+            for value in values:
+                try:
+                    resolve_policy(value)
+                except PolicyError as error:
+                    raise SpecError(str(error)) from None
         axes.append((axis, tuple(values)))
     return ScenarioGrid(
         base=base, axes=tuple(axes), name=str(payload.get("name", name))

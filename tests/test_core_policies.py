@@ -1,0 +1,440 @@
+"""Tests for the mapping-policy registry (repro.core.policies).
+
+The headline acceptance tests live here: the four paper ladder levels,
+re-registered as policies, produce **bit-identical** mapping options,
+payloads and ``mapping_key``s to the pre-refactor enum path, across the
+model zoo; the two genuinely new policies (per-layer-pattern spatial rules
+and user-supplied schedule files) behave and validate as documented; and
+the schedule policy's fingerprint hashes the schedule *contents*, never
+its path.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.core import (
+    MappingOptimizer,
+    MappingOptions,
+    OptimizationLevel,
+    ResidualPlan,
+    available_policies,
+    balance_pipeline,
+    build_mapping,
+    layer_pattern,
+    policy_class,
+    register_policy,
+    resolve_policy,
+)
+from repro.core.policies import (
+    FinalPolicy,
+    MappingPolicy,
+    NaivePolicy,
+    PipelinedPolicy,
+    PolicyError,
+    ReplicatedPolicy,
+    SchedulePolicy,
+    SpatialPatternPolicy,
+    _REGISTRY,
+)
+from repro.dnn import models
+from repro.dnn.builder import GraphBuilder
+from repro.runner import run_optimization_study
+from repro.scenarios.fingerprint import arch_key, graph_key, mapping_key
+
+LADDER = ("naive", "pipelined", "replicated", "final")
+
+
+def small_arch():
+    return ArchConfig.scaled(n_clusters=16, crossbar_size=256)
+
+
+def pre_refactor_options(optimizer, level: str) -> MappingOptions:
+    """The exact MappingOptions the pre-registry enum ladder produced.
+
+    Hand-constructed from the primitives (not via the registry) so the
+    bit-identity assertions compare against an independent spelling of
+    the historical behaviour.
+    """
+    if level == "naive":
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            residual_mode=ResidualPlan.MODE_HBM,
+            name="naive",
+        )
+    balance = balance_pipeline(
+        optimizer.graph,
+        optimizer.arch,
+        optimizer.tiling,
+        reserve_clusters=optimizer.reserve_clusters,
+        max_replication=optimizer.max_replication,
+    )
+    if level == "pipelined":
+        return MappingOptions(
+            batch_size=optimizer.batch_size,
+            parallelization=dict(balance.parallelization),
+            residual_mode=ResidualPlan.MODE_HBM,
+            name="pipelined",
+        )
+    return MappingOptions(
+        batch_size=optimizer.batch_size,
+        replication=dict(balance.replication),
+        parallelization=dict(balance.parallelization),
+        residual_mode=(
+            ResidualPlan.MODE_SPARE_L1 if level == "final" else ResidualPlan.MODE_HBM
+        ),
+        name=level,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry mechanics
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(LADDER) <= set(available_policies())
+        assert {"spatial", "schedule"} <= set(available_policies())
+
+    def test_policy_class_and_descriptions(self):
+        for name in available_policies():
+            cls = policy_class(name)
+            assert cls.name == name
+            assert cls.description  # --list-policies needs one
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(PolicyError, match="registered policies"):
+            policy_class("bogus")
+        with pytest.raises(PolicyError, match="bogus"):
+            resolve_policy("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PolicyError, match="already registered"):
+
+            @register_policy
+            @dataclasses.dataclass(frozen=True)
+            class Clash(MappingPolicy):
+                name = "naive"
+
+        assert _REGISTRY["naive"] is NaivePolicy  # registry not clobbered
+
+    def test_nameless_registration_rejected(self):
+        with pytest.raises(PolicyError, match="non-empty"):
+
+            @register_policy
+            @dataclasses.dataclass(frozen=True)
+            class NoName(MappingPolicy):
+                pass
+
+    def test_resolve_accepts_every_spelling(self):
+        expected = FinalPolicy()
+        assert resolve_policy(expected) is expected
+        assert resolve_policy(OptimizationLevel.FINAL) == expected
+        assert resolve_policy("final") == expected
+        assert resolve_policy({"policy": "final"}) == expected
+        # the frozen tuple-of-pairs form Scenario normalises mappings to
+        assert resolve_policy((("policy", "final"),)) == expected
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(PolicyError, match="cannot interpret"):
+            resolve_policy(42)
+        with pytest.raises(PolicyError, match="'policy' key"):
+            resolve_policy({"path": "x.toml"})
+        with pytest.raises(PolicyError, match="unknown parameter"):
+            resolve_policy({"policy": "spatial", "bogus": 3})
+
+    def test_named_and_inline_spellings_share_tokens(self):
+        named = resolve_policy("spatial")
+        inline = resolve_policy({"policy": "spatial"})
+        assert named == inline
+        assert named.fingerprint_token() == inline.fingerprint_token()
+
+    def test_policies_pickle(self):
+        for name in LADDER + ("spatial",):
+            policy = resolve_policy(name)
+            assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+# --------------------------------------------------------------------------- #
+# Bit-identity of the ladder policies vs the pre-refactor enum path
+# --------------------------------------------------------------------------- #
+class TestLadderBitIdentity:
+    ZOO = (
+        ("tiny_cnn", dict(input_shape=(3, 32, 32), num_classes=10)),
+        ("linear_cnn", dict(input_shape=(3, 32, 32), num_classes=10)),
+        ("residual_chain", dict(input_shape=(3, 32, 32), num_classes=10)),
+        ("mlp", dict()),
+    )
+
+    @pytest.mark.parametrize("model_name,kwargs", ZOO)
+    def test_options_and_payloads_bit_identical(self, model_name, kwargs):
+        graph = getattr(models, model_name)(**kwargs)
+        arch = ArchConfig.scaled(n_clusters=32, crossbar_size=256)
+        optimizer = MappingOptimizer(graph, arch, batch_size=2)
+        for level in LADDER:
+            policy = resolve_policy(level)
+            expected_options = pre_refactor_options(optimizer, level)
+            assert policy.options(optimizer) == expected_options, level
+            via_policy = policy.build(optimizer)
+            via_enum = optimizer.build(OptimizationLevel(level))
+            assert via_policy.to_payload() == via_enum.to_payload(), level
+            # modulo the new provenance stamp, the payload equals a direct
+            # pre-refactor build from the hand-constructed options
+            direct = build_mapping(
+                graph, arch, expected_options, tiling=optimizer.tiling
+            )
+            payload, direct_payload = via_policy.to_payload(), direct.to_payload()
+            assert payload.pop("policy") == level
+            assert direct_payload.pop("policy") == ""
+            assert payload == direct_payload, level
+
+    def test_mapping_keys_identical_to_raw_enum_keys(self, tiny_graph):
+        arch = small_arch()
+        g_fp, a_fp = graph_key(tiny_graph), arch_key(arch)
+        for level in LADDER:
+            enum_key = mapping_key(g_fp, a_fp, 2, OptimizationLevel(level), 4, 64)
+            policy_key = mapping_key(g_fp, a_fp, 2, resolve_policy(level), 4, 64)
+            assert policy_key == enum_key, level
+
+    def test_ladder_order(self):
+        assert tuple(l.value for l in OptimizationLevel.ladder()) == LADDER
+        # the paper's Fig. 5A comparison stays the three design points
+        assert tuple(l.value for l in OptimizationLevel.all()) == (
+            "naive",
+            "replicated",
+            "final",
+        )
+
+    def test_pipelined_sits_between_naive_and_replicated(self, tiny_graph):
+        optimizer = MappingOptimizer(tiny_graph, small_arch(), batch_size=2)
+        options = resolve_policy("pipelined").options(optimizer)
+        assert options.replication == {}  # no analog replication yet
+        assert options.parallelization == dict(optimizer.balance().parallelization)
+        assert options.residual_mode == ResidualPlan.MODE_HBM
+
+
+# --------------------------------------------------------------------------- #
+# The spatial per-layer-pattern policy
+# --------------------------------------------------------------------------- #
+def pattern_graph():
+    """A graph exercising every spatial pattern: depthwise, pointwise,
+    generic conv, dense, plus digital add/pool layers."""
+    b = GraphBuilder("patterns", input_shape=(8, 16, 16))
+    c1 = b.conv2d(16, kernel_size=3, name="stem")
+    dw = b.conv2d(16, kernel_size=3, groups=16, name="dw")
+    pw = b.conv2d(16, kernel_size=1, name="pw")
+    b.add(pw, c1, name="res")
+    b.global_avg_pool()
+    b.linear(10, name="head")
+    return b.build()
+
+
+class TestSpatialPolicy:
+    def test_pattern_classifier(self):
+        graph = pattern_graph()
+        by_name = {n.name: n for n in graph.nodes}
+        assert layer_pattern(by_name["stem"]) == "conv"
+        assert layer_pattern(by_name["dw"]) == "depthwise"
+        assert layer_pattern(by_name["pw"]) == "pointwise"
+        assert layer_pattern(by_name["head"]) == "dense"
+        assert layer_pattern(by_name["res"]) == "digital"
+
+    def test_per_pattern_replication_rules(self):
+        graph = pattern_graph()
+        optimizer = MappingOptimizer(graph, small_arch(), batch_size=2)
+        policy = SpatialPatternPolicy(
+            depthwise=2, pointwise=3, conv=1, dense=1, digital_parallel=2
+        )
+        options = policy.options(optimizer)
+        by_name = {n.name: n.node_id for n in graph.nodes}
+        assert options.replication == {by_name["dw"]: 2, by_name["pw"]: 3}
+        digital_ids = {
+            n.node_id for n in graph.nodes if n.inputs and not n.is_analog
+        }
+        assert options.parallelization == {i: 2 for i in digital_ids}
+        assert options.name == "spatial"
+
+    def test_factors_capped_at_max_replication(self, tiny_graph):
+        optimizer = MappingOptimizer(
+            tiny_graph, small_arch(), batch_size=2, max_replication=2
+        )
+        options = SpatialPatternPolicy(conv=8).options(optimizer)
+        assert options.replication and all(
+            factor <= 2 for factor in options.replication.values()
+        )
+
+    def test_builds_end_to_end(self, tiny_graph):
+        optimizer = MappingOptimizer(tiny_graph, small_arch(), batch_size=2)
+        mapping = optimizer.build({"policy": "spatial", "conv": 2})
+        assert mapping.policy == "spatial"
+        assert mapping.record().policy == "spatial"
+        replicated = [l for l in mapping.layers.values() if l.replication == 2]
+        assert replicated
+
+    def test_validation(self):
+        with pytest.raises(PolicyError, match="integer >= 1"):
+            SpatialPatternPolicy(conv=0)
+        with pytest.raises(PolicyError, match="integer >= 1"):
+            SpatialPatternPolicy(depthwise="two")
+        with pytest.raises(PolicyError, match="residual_mode"):
+            SpatialPatternPolicy(residual_mode="l3")
+
+
+# --------------------------------------------------------------------------- #
+# The user-supplied schedule-file policy
+# --------------------------------------------------------------------------- #
+SCHEDULE_TOML = """
+name = "tiny-custom"
+residual_mode = "spare_l1"
+
+[layers.conv2]
+replication = 2
+
+[layers.res3]
+parallelization = 2
+"""
+
+
+class TestSchedulePolicy:
+    def test_toml_schedule_applies_per_layer_factors(self, tmp_path, tiny_graph):
+        path = tmp_path / "sched.toml"
+        path.write_text(SCHEDULE_TOML)
+        policy = SchedulePolicy(path=str(path))
+        optimizer = MappingOptimizer(tiny_graph, small_arch(), batch_size=2)
+        options = policy.options(optimizer)
+        by_name = {n.name: n.node_id for n in tiny_graph.nodes}
+        assert options.replication == {by_name["conv2"]: 2}
+        assert options.parallelization == {by_name["res3"]: 2}
+        assert options.residual_mode == ResidualPlan.MODE_SPARE_L1
+        assert policy.label == "schedule:tiny-custom"
+        mapping = policy.build(optimizer)
+        assert mapping.layers[by_name["conv2"]].replication == 2
+        assert mapping.layers[by_name["res3"]].parallel_clusters == 2
+        assert mapping.policy == "schedule:tiny-custom"
+
+    def test_json_schedule_and_numeric_node_ids(self, tmp_path, tiny_graph):
+        by_name = {n.name: n.node_id for n in tiny_graph.nodes}
+        path = tmp_path / "sched.json"
+        path.write_text(
+            json.dumps({"layers": {str(by_name["conv2"]): {"replication": 2}}})
+        )
+        policy = SchedulePolicy(path=str(path))
+        optimizer = MappingOptimizer(tiny_graph, small_arch(), batch_size=2)
+        options = policy.options(optimizer)
+        assert options.replication == {by_name["conv2"]: 2}
+        assert options.residual_mode == ResidualPlan.MODE_HBM  # the default
+        assert policy.label == "schedule:sched"  # falls back to the stem
+
+    def test_token_hashes_contents_not_path(self, tmp_path):
+        a = tmp_path / "a.toml"
+        b = tmp_path / "b.toml"
+        a.write_text(SCHEDULE_TOML)
+        b.write_text(SCHEDULE_TOML)
+        assert (
+            SchedulePolicy(path=str(a)).fingerprint_token()
+            == SchedulePolicy(path=str(b)).fingerprint_token()
+        )
+        # same path, different contents -> different token (and key)
+        before = SchedulePolicy(path=str(a))
+        a.write_text(SCHEDULE_TOML.replace("replication = 2", "replication = 4"))
+        after = SchedulePolicy(path=str(a))
+        assert before.fingerprint_token() != after.fingerprint_token()
+        g_fp, a_fp = "g" * 8, "a" * 8
+        assert mapping_key(g_fp, a_fp, 2, before, 4, 64) != mapping_key(
+            g_fp, a_fp, 2, after, 4, 64
+        )
+
+    def test_structural_validation(self, tmp_path):
+        with pytest.raises(PolicyError, match="does not exist"):
+            SchedulePolicy(path=str(tmp_path / "missing.toml"))
+        with pytest.raises(PolicyError, match="needs a 'path'"):
+            SchedulePolicy()
+        bad = tmp_path / "bad.toml"
+        bad.write_text("residual_mode = 'l9'")
+        with pytest.raises(PolicyError, match="residual_mode"):
+            SchedulePolicy(path=str(bad))
+        bad.write_text("[layers.conv1]\nwarp = 3")
+        with pytest.raises(PolicyError, match="unknown"):
+            SchedulePolicy(path=str(bad))
+        bad.write_text("[layers.conv1]\nreplication = 0")
+        with pytest.raises(PolicyError, match="integer >= 1"):
+            SchedulePolicy(path=str(bad))
+        bad.write_text("typo_section = 1")
+        with pytest.raises(PolicyError, match="unknown key"):
+            SchedulePolicy(path=str(bad))
+        bad.write_text("not toml ][")
+        with pytest.raises(PolicyError, match="cannot parse"):
+            SchedulePolicy(path=str(bad))
+
+    def test_graph_validation(self, tmp_path, tiny_graph):
+        optimizer = MappingOptimizer(tiny_graph, small_arch(), batch_size=2)
+        path = tmp_path / "sched.toml"
+        path.write_text("[layers.nope]\nreplication = 2")
+        with pytest.raises(PolicyError, match="not in graph"):
+            SchedulePolicy(path=str(path)).options(optimizer)
+        path.write_text("[layers.res3]\nreplication = 2")
+        with pytest.raises(PolicyError, match="only analog"):
+            SchedulePolicy(path=str(path)).options(optimizer)
+        path.write_text("[layers.conv2]\nparallelization = 2")
+        with pytest.raises(PolicyError, match="only digital"):
+            SchedulePolicy(path=str(path)).options(optimizer)
+
+    def test_schedule_policy_pickles_with_contents(self, tmp_path):
+        path = tmp_path / "sched.toml"
+        path.write_text(SCHEDULE_TOML)
+        policy = SchedulePolicy(path=str(path))
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert clone.schedule == policy.schedule
+
+
+# --------------------------------------------------------------------------- #
+# Runner integration
+# --------------------------------------------------------------------------- #
+class TestRunnerIntegration:
+    def test_study_rejects_duplicate_policies(self, tiny_graph):
+        with pytest.raises(ValueError, match="same mapping policy"):
+            run_optimization_study(
+                tiny_graph,
+                small_arch(),
+                batch_size=2,
+                levels=[OptimizationLevel.FINAL, "final"],
+            )
+
+    def test_study_mixes_ladder_and_custom_policies(self, tiny_graph):
+        reports = run_optimization_study(
+            tiny_graph,
+            small_arch(),
+            batch_size=2,
+            levels=[OptimizationLevel.NAIVE, "pipelined", FinalPolicy()],
+        )
+        assert len(reports) == 3
+        naive = reports[OptimizationLevel.NAIVE]
+        assert naive.level is OptimizationLevel.NAIVE
+        assert isinstance(naive.policy, NaivePolicy)
+        assert isinstance(reports["pipelined"].policy, PipelinedPolicy)
+        assert reports["pipelined"].mapping.policy == "pipelined"
+
+    def test_non_ladder_report_has_no_level(self, tiny_graph):
+        from repro.runner import run_inference
+
+        report = run_inference(
+            tiny_graph, small_arch(), batch_size=2, level={"policy": "spatial"}
+        )
+        assert report.level is None
+        assert isinstance(report.policy, SpatialPatternPolicy)
+        assert report.metrics.name.endswith("spatial")
+
+    def test_format_study_orders_ladder_first(self, tiny_graph):
+        from repro.runner import format_study
+
+        reports = run_optimization_study(
+            tiny_graph,
+            small_arch(),
+            batch_size=2,
+            levels=["spatial", OptimizationLevel.NAIVE],
+        )
+        table = format_study(reports)
+        assert table.index("naive") < table.index("spatial")

@@ -174,6 +174,7 @@ class TestFingerprints:
             "num_classes": 12,
             "batch_size": 5,
             "level": "naive",
+            "mapping": "replicated",
             "n_clusters": 17,
             "crossbar_size": 128,
             "cores_per_cluster": 8,
