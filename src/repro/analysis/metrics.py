@@ -8,8 +8,9 @@ TOPS/W and GOPS/mm2.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..arch.area_power import EnergyBreakdown
 from ..arch.config import ArchConfig
@@ -39,6 +40,17 @@ class PerformanceMetrics:
     energy_efficiency_tops_w: float
     hbm_traffic_mb: float
     noc_traffic_mb: float
+    #: per-request latency percentiles and sustained throughput of
+    #: open-system (arrival-driven) workloads; ``None`` on closed batches,
+    #: so records written before the serving axis round-trip unchanged.
+    request_latency_p50_ms: Optional[float] = None
+    request_latency_p95_ms: Optional[float] = None
+    request_latency_p99_ms: Optional[float] = None
+    sustained_qps: Optional[float] = None
+    #: whether the offered load exceeds the pipeline's steady-state service
+    #: rate (queues grow without bound; the percentiles then depend on the
+    #: run length, not just the arrival process).
+    saturated: Optional[bool] = None
 
     def as_record(self) -> Dict[str, object]:
         """Complete plain-data rendering (JSON-safe), losslessly invertible.
@@ -69,6 +81,17 @@ class PerformanceMetrics:
             "energy_efficiency_tops_w": self.energy_efficiency_tops_w,
             "hbm_traffic_mb": self.hbm_traffic_mb,
             "noc_traffic_mb": self.noc_traffic_mb,
+            **(
+                {
+                    "request_latency_p50_ms": self.request_latency_p50_ms,
+                    "request_latency_p95_ms": self.request_latency_p95_ms,
+                    "request_latency_p99_ms": self.request_latency_p99_ms,
+                    "sustained_qps": self.sustained_qps,
+                    "saturated": self.saturated,
+                }
+                if self.request_latency_p50_ms is not None
+                else {}
+            ),
         }
 
 
@@ -93,12 +116,30 @@ def compute_energy(
     )
 
 
+def percentile(ordered: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of an ascending sequence (exact, no
+    interpolation — the returned value is always an observed latency)."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
 def compute_metrics(
     result: SimulationResult,
     mapping: Optional[NetworkMapping] = None,
     name: Optional[str] = None,
 ) -> PerformanceMetrics:
-    """Derive the paper's headline metrics from a simulation result."""
+    """Derive the paper's headline metrics from a simulation result.
+
+    On an open-system workload (the simulation recorded per-request
+    completions) the serving metrics are filled in as well: p50/p95/p99
+    request latency — sojourn from arrival to final-stage completion, one
+    request = one pipeline job — sustained QPS (requests completed per
+    second of wall time between the first arrival and the last
+    completion), and the ``saturated`` flag (mean inter-arrival time below
+    the pipeline's observed steady-state service time per job).
+    """
     arch: ArchConfig = result.arch
     workload = result.workload
     seconds = result.makespan_seconds
@@ -114,6 +155,21 @@ def compute_metrics(
     power_w = energy_mj * 1e-3 / seconds
     tops_per_w = tops / power_w if power_w > 0 else 0.0
     used = mapping.n_used_clusters if mapping is not None else workload.n_used_clusters
+    p50_ms = p95_ms = p99_ms = qps = saturated = None
+    latencies = result.request_latencies()
+    if latencies:
+        cycle_ms = arch.cycle_time_ns * 1e-6
+        ordered = sorted(latencies)
+        p50_ms = percentile(ordered, 0.50) * cycle_ms
+        p95_ms = percentile(ordered, 0.95) * cycle_ms
+        p99_ms = percentile(ordered, 0.99) * cycle_ms
+        arrivals = workload.arrival_cycles
+        completions = result.request_completions
+        span_cycles = max(1, max(completions.values()) - arrivals[0])
+        qps = len(completions) / (span_cycles * arch.cycle_time_ns * 1e-9)
+        n = len(arrivals)
+        mean_gap = (arrivals[-1] - arrivals[0]) / (n - 1) if n > 1 else 0.0
+        saturated = mean_gap < result.steady_state_cycles_per_job()
     return PerformanceMetrics(
         name=name or workload.name,
         batch_size=workload.batch_size,
@@ -133,4 +189,9 @@ def compute_metrics(
         energy_efficiency_tops_w=tops_per_w,
         hbm_traffic_mb=result.tracer.hbm_bytes / 1e6,
         noc_traffic_mb=result.tracer.noc_bytes / 1e6,
+        request_latency_p50_ms=p50_ms,
+        request_latency_p95_ms=p95_ms,
+        request_latency_p99_ms=p99_ms,
+        sustained_qps=qps,
+        saturated=saturated,
     )

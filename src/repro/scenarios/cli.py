@@ -31,22 +31,58 @@ from typing import List, Optional
 
 from ..core.policies import available_policies, policy_class
 from ..sim.system import SIMULATION_ENGINES
-from .spec import load_spec
+from ..sim.workload import ARRIVAL_PROCESSES
+from .spec import SpecError, load_spec
 from .store import ArtifactStore
 from .sweep import SweepResult, SweepRunner, default_cache
+
+
+def _parse_arrivals_option(text: str) -> object:
+    """Parse the ``--arrivals`` flag value into an arrival spec.
+
+    ``process,key=value,...`` (first chunk a registered process name)
+    becomes an inline process table; anything else is a trace file path.
+    """
+    head, _, rest = text.partition(",")
+    if head not in ARRIVAL_PROCESSES:
+        return text
+    params: dict = {"process": head}
+    if rest:
+        for chunk in rest.split(","):
+            key, sep, value = chunk.partition("=")
+            if not sep or not key:
+                raise SpecError(
+                    f"--arrivals parameter {chunk!r} is not key=value"
+                )
+            try:
+                parsed: object = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = value
+            params[key.strip()] = parsed
+    return params
 
 
 def format_outcomes(result: SweepResult) -> str:
     """Fixed-width results table of one sweep.
 
     Accuracy columns (relative output RMS error and top-1 agreement vs the
-    digital reference) appear whenever any outcome ran the accuracy stage.
+    digital reference) appear whenever any outcome ran the accuracy stage;
+    per-request latency percentile and sustained-QPS columns appear
+    whenever any outcome ran an open-system (arrival-driven) workload.
     """
     with_accuracy = any(o.accuracy is not None for o in result.outcomes)
+    with_serving = any(
+        o.metrics.request_latency_p50_ms is not None for o in result.outcomes
+    )
     header = (
         f"{'scenario':<40} {'ms':>8} {'TOPS':>8} {'img/s':>8} "
         f"{'clusters':>9} {'TOPS/W':>8} {'HBM MB':>8}"
     )
+    if with_serving:
+        header += f" {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'QPS':>10} {'sat':>4}"
     if with_accuracy:
         header += f" {'rel RMSE':>9} {'top1':>6}"
     lines = [header, "-" * len(header)]
@@ -57,6 +93,17 @@ def format_outcomes(result: SweepResult) -> str:
             f"{m.images_per_second:>8.0f} {m.used_clusters:>9} "
             f"{m.energy_efficiency_tops_w:>8.2f} {m.hbm_traffic_mb:>8.1f}"
         )
+        if with_serving:
+            if m.request_latency_p50_ms is not None:
+                line += (
+                    f" {m.request_latency_p50_ms:>8.3f}"
+                    f" {m.request_latency_p95_ms:>8.3f}"
+                    f" {m.request_latency_p99_ms:>8.3f}"
+                    f" {m.sustained_qps:>10.0f}"
+                    f" {'yes' if m.saturated else 'no':>4}"
+                )
+            else:
+                line += f" {'-':>8} {'-':>8} {'-':>8} {'-':>10} {'-':>4}"
         if with_accuracy:
             accuracy = outcome.accuracy
             if accuracy is not None:
@@ -131,6 +178,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine = \"...\" in the spec's [base] table",
     )
     parser.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help="pin an open-system arrival process for every scenario: "
+        "process,key=value,... with a registered process name "
+        f"({', '.join(sorted(ARRIVAL_PROCESSES))}), e.g. "
+        "poisson,mean_interarrival_cycles=400,seed=7 — or the path of an "
+        "SWF-style arrival trace file; equivalent to arrivals = {...} in "
+        "the spec's [base] table.  Adds per-request latency percentile "
+        "and sustained-QPS columns to the results table",
+    )
+    parser.add_argument(
         "--policy",
         default=None,
         metavar="NAME",
@@ -180,6 +239,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenarios = [s.replace(fast_forward=True) for s in scenarios]
         if args.engine is not None:
             scenarios = [s.replace(engine=args.engine) for s in scenarios]
+        if args.arrivals is not None:
+            arrivals = _parse_arrivals_option(args.arrivals)
+            scenarios = [s.replace(arrivals=arrivals) for s in scenarios]
     except (TypeError, ValueError) as error:
         # SpecError (also from expanding invalid axis values), JSON/TOML
         # decode errors and badly-typed field values (all ValueError/

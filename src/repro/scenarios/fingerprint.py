@@ -75,10 +75,20 @@ def canonicalize(obj: Any) -> Any:
     if isinstance(obj, Graph):
         return _canonicalize_graph(obj)
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {
-            f.name: canonicalize(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
+        # A dataclass may opt individual fields out of the rendering *while
+        # they hold their default value* by listing them in a class-level
+        # ``__fingerprint_omit_defaults__`` tuple.  This lets an artifact
+        # type grow a new optional field (e.g. ``Workload.arrival_cycles``)
+        # without changing the canonical form — and therefore the content
+        # keys — of every pre-existing value that does not use it.  A
+        # non-default value renders normally, so the axis still keys.
+        omit_defaults = frozenset(getattr(obj, "__fingerprint_omit_defaults__", ()))
+        fields = {}
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if f.name in omit_defaults and value == f.default:
+                continue
+            fields[f.name] = canonicalize(value)
         return {"__dataclass__": type(obj).__name__, "fields": fields}
     if isinstance(obj, list):
         return [canonicalize(item) for item in obj]
@@ -242,6 +252,7 @@ def simulation_key(
     buffer_depth: int,
     fast_forward: bool = False,
     engine: str = "array",
+    arrivals: Any = None,
 ) -> str:
     """Key of a :class:`~repro.sim.system.SimulationResult`.
 
@@ -258,18 +269,27 @@ def simulation_key(
     mask any divergence the kernel-equivalence suite exists to catch.
     Adding the axis changes every simulation key once; historical
     artifacts miss cleanly and are re-simulated.
+
+    ``arrivals`` carries the *resolved* arrival schedule of an open-system
+    workload — the tuple of per-job arrival cycles, never the generator
+    spec or trace path that produced it — so two spellings resolving to
+    the same timestamps share one artifact, and a trace file's location on
+    disk never enters the key.  Closed-batch simulations pass ``None`` and
+    the key token is omitted entirely, keeping their keys byte-identical
+    to the pre-arrivals rendering.
     """
-    return fingerprint(
-        (
-            "simulate",
-            arch_fp,
-            workload_fp,
-            model_contention,
-            buffer_depth,
-            fast_forward,
-            engine,
-        )
+    token = (
+        "simulate",
+        arch_fp,
+        workload_fp,
+        model_contention,
+        buffer_depth,
+        fast_forward,
+        engine,
     )
+    if arrivals is not None:
+        token = token + (("arrivals", tuple(arrivals)),)
+    return fingerprint(token)
 
 
 def accuracy_key(

@@ -54,7 +54,7 @@ from ..core.pipeline import lower_to_workload
 from ..dnn.graph import Graph
 from ..dnn.numerics import ReferenceExecutor, initialize_parameters, random_input
 from ..sim.system import SimulationRecord, SimulationResult, simulate
-from ..sim.workload import Workload
+from ..sim.workload import Workload, resolve_arrivals
 from .cache import ArtifactCache
 from .fingerprint import (
     accuracy_key,
@@ -243,6 +243,7 @@ def simulation_stage(
     buffer_depth: int = 2,
     fast_forward: bool = False,
     engine: str = "array",
+    arrivals: Any = None,
     cache: Optional[ArtifactCache] = None,
 ) -> SimulationResult:
     """Simulate (or reuse) one workload on one architecture.
@@ -259,7 +260,18 @@ def simulation_stage(
     the event kernel (array-native, object or compiled table lane); the
     kernels are bit-identical but key separately so a pinned-kernel sweep
     really exercises the kernel it pinned.
+
+    ``arrivals`` accepts every spelling
+    :func:`~repro.sim.workload.resolve_arrivals` does; when given, the
+    resolved process generates the per-job arrival schedule and the
+    workload is stamped with it *before* keying, so the cache key hashes
+    the resolved cycle tuple (two spellings generating the same schedule
+    share one simulation; editing a trace file changes the key even though
+    its path did not).
     """
+    process = resolve_arrivals(arrivals)
+    if process is not None:
+        workload = workload.with_arrivals(process.generate(workload.n_jobs))
     if cache is None:
         return simulate(
             arch,
@@ -276,6 +288,7 @@ def simulation_stage(
         buffer_depth,
         fast_forward,
         engine,
+        arrivals=workload.arrival_cycles or None,
     )
     return cache.get_or_create(
         ArtifactCache.REGION_SIMULATION,
@@ -580,6 +593,7 @@ def run_scenario(
         buffer_depth=scenario.buffer_depth,
         fast_forward=scenario.fast_forward,
         engine=scenario.engine,
+        arrivals=scenario.arrivals,
         cache=cache,
     )
     metrics = compute_metrics(result, mapping, name=scenario.label)

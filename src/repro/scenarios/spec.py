@@ -65,6 +65,13 @@ from ..core.policies import (
 from ..dnn import models as model_zoo
 from ..dnn.graph import Graph
 from ..sim.system import SIMULATION_ENGINES
+from ..sim.workload import (
+    ARRIVAL_PROCESSES,
+    ArrivalError,
+    TraceArrivals,
+    load_arrival_trace,
+    resolve_arrivals,
+)
 
 
 class SpecError(ValueError):
@@ -301,6 +308,18 @@ class Scenario:
     #: never reuses another kernel's artifacts (which would mask any
     #: divergence the equivalence suite is meant to catch).
     engine: str = "array"
+    # -- serving axis: open-system arrival process ------------------------- #
+    #: arrival-process spec making the scenario an open-system serving run:
+    #: a mapping with a ``process`` key naming a registered kind from
+    #: :data:`~repro.sim.workload.ARRIVAL_PROCESSES` plus its parameters
+    #: (normalised to a sorted tuple of pairs so the spec stays hashable),
+    #: or a string path to an SWF-style arrival trace file.  ``None`` keeps
+    #: the scenario a closed batch.  The simulation stage resolves the spec,
+    #: generates the per-job arrival schedule and keys the cache on the
+    #: *resolved* cycle tuple — two spellings that generate the same
+    #: schedule share artifacts, and a trace file edit is never masked by
+    #: its unchanged path.
+    arrivals: Optional[Union[str, Tuple[Tuple[str, object], ...]]] = None
     # -- accuracy axis: functional execution of the network ---------------- #
     #: when set, the scenario additionally runs the accuracy stage
     #: (functional execution vs the digital reference) with this backend/
@@ -348,6 +367,22 @@ class Scenario:
                 f"unknown simulation engine {self.engine!r}; "
                 f"expected one of {SIMULATION_ENGINES}"
             )
+        if self.arrivals is not None:
+            object.__setattr__(self, "arrivals", _freeze_arrivals(self.arrivals))
+            try:
+                process = resolve_arrivals(self.arrivals)
+                if isinstance(process, TraceArrivals):
+                    # resolve the trace eagerly (like schedule files) so a
+                    # missing or malformed trace fails at load time
+                    load_arrival_trace(process.path)
+            except ArrivalError as error:
+                raise SpecError(str(error)) from None
+            label = (
+                f"trace:{Path(process.path).stem}"
+                if isinstance(process, TraceArrivals)
+                else dict(self.arrivals)["process"]
+            )
+            object.__setattr__(self, "_arrivals_label", str(label))
         if self.execution is not None and not isinstance(self.execution, ExecutionSpec):
             object.__setattr__(self, "execution", ExecutionSpec.coerce(self.execution))
 
@@ -417,9 +452,16 @@ class Scenario:
             f"{self.model}/{policy}"
             f"/x{self.crossbar_size}/c{self.resolved_n_clusters}/b{self.batch_size}"
         )
+        if self.arrivals is not None:
+            label += f"/arr:{self.arrivals_label}"
         if self.execution is not None:
             label += f"/{self.execution.label}"
         return label
+
+    @property
+    def arrivals_label(self) -> str:
+        """Display name of the arrival process (``""`` on closed batches)."""
+        return getattr(self, "_arrivals_label", "")
 
     def replace(self, **changes: object) -> "Scenario":
         """A copy of this scenario with some fields changed."""
@@ -434,6 +476,8 @@ class Scenario:
         )
         if self.mapping is not None and not isinstance(self.mapping, str):
             payload["mapping"] = dict(self.mapping)
+        if self.arrivals is not None and not isinstance(self.arrivals, str):
+            payload["arrivals"] = dict(self.arrivals)
         return payload
 
 
@@ -468,6 +512,51 @@ def _freeze_mapping(
         return tuple(sorted(pairs))
     raise SpecError(
         "mapping must be a policy name or a {'policy': name, ...} table, "
+        f"not {type(value).__name__}"
+    )
+
+
+def _freeze_arrivals(
+    value: object,
+) -> Union[str, Tuple[Tuple[str, object], ...]]:
+    """Normalise an arrival-process spec to the hashable spelling.
+
+    Process instances collapse to their inline spelling (a
+    :class:`~repro.sim.workload.TraceArrivals` to its path string) so two
+    scenarios built from equivalent spellings compare — and fingerprint —
+    equal.
+    """
+    if dataclasses.is_dataclass(value) and hasattr(value, "generate"):
+        if isinstance(value, TraceArrivals):
+            return value.path
+        names = {cls: name for name, cls in ARRIVAL_PROCESSES.items()}
+        name = names.get(type(value))
+        if name is None:
+            raise SpecError(
+                f"arrivals process {type(value).__name__} is not registered "
+                f"in ARRIVAL_PROCESSES; spell the configuration as data"
+            )
+        value = {
+            "process": name,
+            **{f.name: getattr(value, f.name) for f in dataclasses.fields(value)},
+        }
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), v) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        try:
+            pairs = [(str(k), v) for k, v in value]
+        except (TypeError, ValueError):
+            raise SpecError(
+                "arrivals must be a trace path or a {'process': name, ...} "
+                f"table, not {type(value).__name__}"
+            ) from None
+        return tuple(sorted(pairs))
+    raise SpecError(
+        "arrivals must be a trace path or a {'process': name, ...} table, "
         f"not {type(value).__name__}"
     )
 
@@ -579,6 +668,16 @@ def parse_spec(payload: Mapping[str, object], name: str = "sweep") -> ScenarioGr
                 try:
                     resolve_policy(value)
                 except PolicyError as error:
+                    raise SpecError(str(error)) from None
+        elif axis == "arrivals":
+            # resolve eagerly: unknown processes, bad parameters and
+            # missing/malformed trace files fail at load time
+            for value in values:
+                try:
+                    process = resolve_arrivals(_freeze_arrivals(value))
+                    if isinstance(process, TraceArrivals):
+                        load_arrival_trace(process.path)
+                except ArrivalError as error:
                     raise SpecError(str(error)) from None
         axes.append((axis, tuple(values)))
     return ScenarioGrid(

@@ -17,25 +17,39 @@ from .system import (
 )
 from .tracer import CATEGORIES, ClusterActivity, StageActivity, Tracer
 from .workload import (
+    ARRIVAL_PROCESSES,
+    ArrivalError,
+    ArrivalTraceError,
+    BurstyArrivals,
     DataFlow,
+    DeterministicArrivals,
     ENDPOINT_HBM,
     ENDPOINT_STAGE,
     ENDPOINT_STORAGE,
+    PoissonArrivals,
     StageCost,
     StageDescriptor,
+    TraceArrivals,
     Workload,
+    load_arrival_trace,
+    resolve_arrivals,
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "ArrayEngine",
     "ArrayNocModel",
+    "ArrivalError",
+    "ArrivalTraceError",
     "BATCH_MIN",
     "Barrier",
+    "BurstyArrivals",
     "CATEGORIES",
     "ClusterActivity",
     "ClusterModel",
     "CreditStore",
     "DataFlow",
+    "DeterministicArrivals",
     "ENDPOINT_HBM",
     "ENDPOINT_STAGE",
     "ENDPOINT_STORAGE",
@@ -47,6 +61,7 @@ __all__ = [
     "L1OverflowError",
     "LinkPool",
     "NocModel",
+    "PoissonArrivals",
     "ROW_DTYPE",
     "SIMULATION_ENGINES",
     "Server",
@@ -57,11 +72,14 @@ __all__ = [
     "StageCost",
     "StageDescriptor",
     "SystemSimulator",
+    "TraceArrivals",
     "Tracer",
     "TransferRequest",
     "Workload",
     "assert_results_identical",
     "fast_forward_simulate",
+    "load_arrival_trace",
+    "resolve_arrivals",
     "result_mismatches",
     "simulate",
 ]

@@ -355,9 +355,19 @@ def fast_forward_simulate(
     simulation.  The probe runs on the kernel selected by ``engine``, so a
     fast-forwarded result has the same provenance guarantees as a full run
     on that kernel (and the kernels are bit-identical anyway).
+
+    Open-system workloads (a non-empty ``arrival_cycles`` schedule) are
+    refused outright: a probe run sees only the schedule's *prefix*, which
+    is not representative of the arrival process — bursts, lulls and the
+    resulting queueing are not periodic in general, and the per-request
+    completion map could not be extrapolated.  Certification of stationary
+    arrival regimes is an explicitly out-of-scope extension; callers take
+    the verified full-run fallback (``fast_forwarded=False``).
     """
     n = workload.n_jobs
     if n < MIN_JOBS:
+        return None
+    if workload.arrival_cycles:
         return None
     # probe sizing: start near PROBE_TARGET; if certification fails —
     # typically because the probe is shorter than the pipeline's fill plus

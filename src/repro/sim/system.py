@@ -49,7 +49,14 @@ from .workload import (
 #: bump this version: the two kernels are bit-identical (asserted in
 #: ``tests/test_sim_kernel_equivalence.py``), so a payload carries no
 #: trace of which kernel produced it.
-SIMULATION_PAYLOAD_VERSION = 2
+#: Version 3: open-system workloads — the tracer (which ships inside the
+#: payload) gained the per-request completion map behind the request
+#: latency percentiles, and job launch is gated on
+#: ``Workload.arrival_cycles``.  Closed-batch results are bit-identical
+#: to version 2, but a v2 payload cannot prove it was not produced by a
+#: pre-gating simulator on an open workload, so every stale payload is
+#: re-simulated once.
+SIMULATION_PAYLOAD_VERSION = 3
 
 #: valid values of the ``engine`` argument of :func:`simulate` /
 #: :class:`SystemSimulator`: the array-native kernel (default), the
@@ -176,6 +183,35 @@ class SimulationResult:
         return tuple(traces.get(stage_id, ()))
 
     # ------------------------------------------------------------------ #
+    # Per-request sojourn (open-system workloads)
+    # ------------------------------------------------------------------ #
+    @property
+    def request_completions(self) -> Dict[int, int]:
+        """Final-stage completion cycle per request, in completion order.
+
+        Keyed by job index; populated only on open (arrival-driven)
+        workloads.  Rides the tracer, so it survives the artifact-store
+        round trip like the stage completion traces.
+        """
+        completions = getattr(self.tracer, "request_completions", None)
+        return dict(completions) if completions else {}
+
+    def request_latencies(self) -> Tuple[int, ...]:
+        """Sojourn time (arrival → final-stage completion) per request.
+
+        Indexed by job: entry ``j`` is
+        ``request_completions[j] - arrival_cycles[j]``, in cycles.  Empty
+        on closed-batch runs, which record no request completions.
+        """
+        arrivals = self.workload.arrival_cycles
+        completions = self.request_completions
+        if not arrivals or not completions:
+            return ()
+        return tuple(
+            completions[job] - arrivals[job] for job in sorted(completions)
+        )
+
+    # ------------------------------------------------------------------ #
     # Compact serialisation (the on-disk artifact store)
     # ------------------------------------------------------------------ #
     def to_payload(self) -> Dict[str, object]:
@@ -297,6 +333,16 @@ class _StageRuntime:
         self.io_cluster = descriptor.io_cluster
         self.next_job = 0
         self.jobs_completed = 0
+        #: arrival gate for *source* stages (no input flows at all): those
+        #: stages inject jobs spontaneously, so on an open workload they
+        #: must hold job ``j`` until ``arrival_cycles[j]``.  Stages with
+        #: inputs are gated transitively — their jobs only exist once the
+        #: (gated) external feed or an upstream stage delivers tiles.
+        self._gated_arrivals: Optional[Tuple[int, ...]] = (
+            sim.workload.arrival_cycles
+            if sim.workload.arrival_cycles and not descriptor.inputs
+            else None
+        )
         self._digital_groups = self._partition_digital()
         # register for per-stage statistics
         sim.tracer.stage(descriptor.stage_id, descriptor.name)
@@ -334,7 +380,17 @@ class _StageRuntime:
         return True
 
     def _try_start(self) -> None:
+        arrivals = self._gated_arrivals
         while self.next_job < self.sim.workload.n_jobs and self._inputs_ready(self.next_job):
+            if arrivals is not None:
+                arrival = arrivals[self.next_job]
+                if arrival > self.sim.engine._now:
+                    # Sleep until the next request arrives.  Only the kick
+                    # in :meth:`SystemSimulator.run` and this wakeup ever
+                    # call ``_try_start`` on an input-less stage, so at
+                    # most one wakeup is pending at a time.
+                    self.sim.engine.at(arrival, self._try_start)
+                    return
             job_index = self.next_job
             self.next_job += 1
             self.output_slots.acquire(lambda j=job_index: self._start_job(j))
@@ -470,6 +526,14 @@ class SystemSimulator:
         self._stages: Dict[int, _StageRuntime] = {}
         self._finished_stages = 0
         self._last_completion_cycle = 0
+        #: on open workloads, completions of this stage are the request
+        #: completions the sojourn metrics are computed from; ``None``
+        #: disables per-request recording on closed batches, keeping their
+        #: tracers (and therefore payloads) bit-identical to pre-arrivals
+        #: runs.
+        self._request_stage_id: Optional[int] = (
+            workload.final_stage().stage_id if workload.arrival_cycles else None
+        )
         # memoized per-size DMA/communication cycle counts (hot path)
         self._dma_cycle_memo: Dict[int, int] = {}
         self._comm_cycle_memo: Dict[int, int] = {}
@@ -519,7 +583,15 @@ class SystemSimulator:
     def _start_external_feed(
         self, runtime: _StageRuntime, flow_index: int, flow: DataFlow
     ) -> None:
-        """Feed a stage input directly from the HBM (the network input)."""
+        """Feed a stage input directly from the HBM (the network input).
+
+        On an open workload the fetch of job ``j`` is additionally held
+        until ``arrival_cycles[j]``: the request's input data does not
+        exist before the request arrives, so neither prefetch nor credit
+        acquisition may happen earlier.  Closed workloads (empty arrival
+        schedule) take the unconditional path, event for event.
+        """
+        arrivals = self.workload.arrival_cycles
 
         def fetch(job_index: int) -> None:
             if job_index >= self.workload.n_jobs:
@@ -535,7 +607,13 @@ class SystemSimulator:
 
                 self.noc.transfer_bytes(None, dst, flow.bytes_per_job, delivered)
 
-            runtime.input_credits[flow_index].acquire(granted)
+            def acquire() -> None:
+                runtime.input_credits[flow_index].acquire(granted)
+
+            if arrivals and arrivals[job_index] > self.engine._now:
+                self.engine.at(arrivals[job_index], acquire)
+            else:
+                acquire()
 
         fetch(0)
 
@@ -853,6 +931,8 @@ class SystemSimulator:
         if now > self._last_completion_cycle:
             self._last_completion_cycle = now
         self.tracer.record_stage_completion(stage_id, now)
+        if stage_id == self._request_stage_id:
+            self.tracer.record_request_completion(job_index, now)
 
     def snapshot_activity(self):
         """Mid-run snapshot of counters and per-cluster/stage/link activity.

@@ -210,6 +210,7 @@ class _CompiledStage:
         "jobs_completed",
         "job_start",
         "out_pending",
+        "arrival_gate",
     )
 
 
@@ -314,6 +315,12 @@ class TableProgram:
             st.out_pending = [0] * nj
             st.out_flows = ()
             st.intra_flows = None
+            # arrival gate for source stages (mirrors _StageRuntime)
+            st.arrival_gate = (
+                workload.arrival_cycles
+                if workload.arrival_cycles and not desc.inputs
+                else None
+            )
             self.stages.append(st)
             self._by_sid[desc.stage_id] = st
             st.activity = self.tracer.stage(desc.stage_id, desc.name)
@@ -622,10 +629,17 @@ class TableProgram:
     # ------------------------------------------------------------------ #
     def _try_start(self, st: _CompiledStage) -> None:
         nj = self._nj
+        arrivals = st.arrival_gate
         while st.next_job < nj:
             job = st.next_job
             for count in st.delivered:
                 if count <= job:
+                    return
+            if arrivals is not None:
+                arrival = arrivals[job]
+                if arrival > self.engine._now:
+                    # single pending wakeup, same as _StageRuntime._try_start
+                    self.engine.at(arrival, lambda: self._try_start(st))
                     return
             st.next_job = job + 1
             # output_slots.acquire(start_job)
@@ -1024,6 +1038,7 @@ class TableProgram:
         in_credits = st.in_credits
         in_wait = st.in_wait[flow_index]
         delivered_counts = st.delivered
+        arrivals = self.workload.arrival_cycles
 
         def fetch(job: int) -> None:
             if job >= nj:
@@ -1039,11 +1054,19 @@ class TableProgram:
 
                 self._transfer_cb(None, dst, n_bytes, delivered)
 
-            if in_credits[flow_index] > 0 and not in_wait:
-                in_credits[flow_index] -= 1
-                granted()
+            def acquire() -> None:
+                if in_credits[flow_index] > 0 and not in_wait:
+                    in_credits[flow_index] -= 1
+                    granted()
+                else:
+                    in_wait.append(granted)
+
+            # open workloads: hold the fetch (and the credit acquisition)
+            # until the request arrives — mirrors _start_external_feed
+            if arrivals and arrivals[job] > self.engine._now:
+                self.engine.at(arrivals[job], acquire)
             else:
-                in_wait.append(granted)
+                acquire()
 
         fetch(0)
 

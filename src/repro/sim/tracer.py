@@ -98,6 +98,12 @@ class Tracer:
         #: behind the Fig. 5D latency staircase and the steady-state
         #: detector (see ``docs/simulator.md`` for the schema).
         self.stage_completions: Dict[int, List[int]] = {}
+        #: per-request completion cycles of open-system (arrival-driven)
+        #: workloads: job index -> cycle at which the *final* pipeline
+        #: stage finished that job.  Insertion order is completion order.
+        #: Together with ``Workload.arrival_cycles`` this defines the
+        #: request sojourn time; empty on closed-batch runs.
+        self.request_completions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Cluster activity
@@ -226,6 +232,16 @@ class Tracer:
     def completion_trace(self, stage_id: int) -> Tuple[int, ...]:
         """The completion trace of one stage (empty if never recorded)."""
         return tuple(self.stage_completions.get(stage_id, ()))
+
+    def record_request_completion(self, job_index: int, cycle: int) -> None:
+        """Record the final-stage completion of one request (open workloads).
+
+        Completion uses the same definition as
+        :meth:`record_stage_completion` — the job's outputs have been
+        handed to their consumers — so the request sojourn covers the full
+        arrival → delivery path.
+        """
+        self.request_completions[int(job_index)] = int(cycle)
 
     def record_stage_stall(
         self, stage_id: int, input_cycles: int = 0, output_cycles: int = 0

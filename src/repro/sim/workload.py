@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 #: kinds of data-flow endpoints.
 ENDPOINT_STAGE = "stage"
@@ -183,6 +184,17 @@ class Workload:
     total_digital_ops: int = 0
     #: storage clusters used to park residuals (Sec. V.4 final mapping).
     storage_clusters: Tuple[int, ...] = ()
+    #: per-job arrival times in cycles (open-system serving workloads).
+    #: Empty means the closed-batch model: every job is available at t=0.
+    #: When non-empty it must hold exactly ``n_jobs`` non-negative,
+    #: non-decreasing timestamps; job ``j`` may not enter the pipeline (nor
+    #: have its external input fetched) before cycle ``arrival_cycles[j]``.
+    arrival_cycles: Tuple[int, ...] = ()
+
+    #: ``arrival_cycles`` is omitted from the content fingerprint while it
+    #: holds its default, so closed-batch workloads key byte-identically to
+    #: their pre-arrivals rendering (see repro.scenarios.fingerprint).
+    __fingerprint_omit_defaults__ = ("arrival_cycles",)
 
     def __post_init__(self) -> None:
         if self.n_jobs <= 0:
@@ -192,6 +204,18 @@ class Workload:
         ids = [stage.stage_id for stage in self.stages]
         if len(ids) != len(set(ids)):
             raise ValueError("stage ids must be unique")
+        if self.arrival_cycles:
+            arrivals = tuple(int(cycle) for cycle in self.arrival_cycles)
+            if len(arrivals) != self.n_jobs:
+                raise ValueError(
+                    f"arrival_cycles has {len(arrivals)} entries for "
+                    f"{self.n_jobs} jobs"
+                )
+            if arrivals[0] < 0:
+                raise ValueError("arrival cycles cannot be negative")
+            if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+                raise ValueError("arrival cycles must be non-decreasing")
+            self.arrival_cycles = arrivals
 
     # ------------------------------------------------------------------ #
     def stage(self, stage_id: int) -> StageDescriptor:
@@ -218,14 +242,48 @@ class Workload:
         """Total operations of the batch (1 MAC = 2 ops plus digital ops)."""
         return 2 * self.total_macs + self.total_digital_ops
 
+    @property
+    def is_open(self) -> bool:
+        """Whether this is an open-system (arrival-driven) workload.
+
+        The presence of an arrival schedule is what makes a workload open:
+        the simulator gates job launch on the timestamps and records
+        per-request sojourn.  Even an all-zero schedule (one burst at t=0)
+        is open — it launches like the closed batch but reports request
+        latencies, and carries a distinct content fingerprint.
+        """
+        return bool(self.arrival_cycles)
+
     def with_n_jobs(self, n_jobs: int) -> "Workload":
         """A copy of this workload processing a different number of jobs.
 
         Everything else — stages, costs, data flows, bookkeeping totals —
         is shared.  The steady-state fast-forward uses this for its probe
-        runs (:mod:`repro.sim.steady_state`).
+        runs (:mod:`repro.sim.steady_state`).  An arrival schedule is
+        truncated alongside the job count (a prefix stays a valid
+        schedule); growing the job count of an open workload has no
+        defined arrival times for the new jobs and is rejected.
         """
-        return dataclasses.replace(self, n_jobs=n_jobs)
+        arrivals = self.arrival_cycles
+        if arrivals:
+            if n_jobs > len(arrivals):
+                raise ValueError(
+                    f"cannot grow an open workload to {n_jobs} jobs: the "
+                    f"arrival schedule only covers {len(arrivals)}"
+                )
+            arrivals = arrivals[:n_jobs]
+        return dataclasses.replace(self, n_jobs=n_jobs, arrival_cycles=arrivals)
+
+    def with_arrivals(self, arrival_cycles: Sequence[int]) -> "Workload":
+        """A copy of this workload with a per-job arrival schedule.
+
+        ``arrival_cycles`` must cover every job (longer schedules — e.g. a
+        long trace driving a short run — are truncated to ``n_jobs``;
+        shorter ones are an error, raised by validation).
+        """
+        return dataclasses.replace(
+            self, arrival_cycles=tuple(arrival_cycles)[: self.n_jobs]
+        )
 
     def bottleneck_stage(self) -> StageDescriptor:
         """The stage with the largest steady-state per-job cost."""
@@ -273,3 +331,220 @@ class Workload:
                         f"stage {stage.stage_id} references storage cluster "
                         f"{flow.storage_cluster} outside the system"
                     )
+
+
+# --------------------------------------------------------------------------- #
+# Arrival processes (open-system serving workloads)
+# --------------------------------------------------------------------------- #
+class ArrivalError(ValueError):
+    """Raised for invalid arrival-process specifications."""
+
+
+class ArrivalTraceError(ArrivalError):
+    """Raised for a malformed arrival trace file, naming the offending line."""
+
+    def __init__(self, path: object, line_no: int, message: str) -> None:
+        super().__init__(f"{path}:{line_no}: {message}")
+        self.path = str(path)
+        self.line_no = line_no
+
+
+def load_arrival_trace(path: Union[str, Path]) -> Tuple[int, ...]:
+    """Load per-job arrival cycles from an SWF-style trace file.
+
+    The format follows the Standard Workload Format conventions used by
+    cluster-simulator traces: lines starting with ``;`` are comments, blank
+    lines are skipped, and each record is a whitespace-separated row whose
+    **second** field is the job's arrival (submit) time, here in cycles.
+    Remaining fields are ignored, so real SWF files load unmodified.
+
+    Malformed records raise :class:`ArrivalTraceError` naming the file and
+    the 1-based line number; arrival times must be non-negative integers
+    and non-decreasing across records.
+    """
+    path = Path(path)
+    arrivals: List[int] = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        raise ArrivalError(f"cannot read arrival trace {path}: {error}") from error
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise ArrivalTraceError(
+                path, line_no, f"expected at least 2 fields, got {len(fields)}"
+            )
+        try:
+            arrival = int(fields[1])
+        except ValueError:
+            raise ArrivalTraceError(
+                path, line_no, f"arrival time {fields[1]!r} is not an integer"
+            ) from None
+        if arrival < 0:
+            raise ArrivalTraceError(
+                path, line_no, f"arrival time {arrival} is negative"
+            )
+        if arrivals and arrival < arrivals[-1]:
+            raise ArrivalTraceError(
+                path,
+                line_no,
+                f"arrival time {arrival} decreases below {arrivals[-1]}",
+            )
+        arrivals.append(arrival)
+    if not arrivals:
+        raise ArrivalError(f"arrival trace {path} contains no records")
+    return tuple(arrivals)
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals:
+    """Evenly spaced arrivals: job ``j`` at ``start + j * interval`` cycles."""
+
+    interval_cycles: int
+    start_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_cycles < 0:
+            raise ArrivalError("interval_cycles cannot be negative")
+        if self.start_cycle < 0:
+            raise ArrivalError("start_cycle cannot be negative")
+
+    def generate(self, n_jobs: int) -> Tuple[int, ...]:
+        return tuple(
+            self.start_cycle + j * self.interval_cycles for j in range(n_jobs)
+        )
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Poisson arrivals: i.i.d. exponential inter-arrival times, seeded.
+
+    Inter-arrival draws come from ``numpy.random.default_rng(seed)`` with
+    the given mean, are accumulated in float and rounded half-even to
+    integer cycles — rounding a non-decreasing cumulative sum preserves
+    monotonicity, so the schedule is always valid.  The same seed yields
+    the same timestamp sequence on every run.
+    """
+
+    mean_interarrival_cycles: float
+    seed: int = 0
+    start_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival_cycles <= 0:
+            raise ArrivalError("mean_interarrival_cycles must be positive")
+        if self.start_cycle < 0:
+            raise ArrivalError("start_cycle cannot be negative")
+
+    def generate(self, n_jobs: int) -> Tuple[int, ...]:
+        import numpy as np
+
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(self.mean_interarrival_cycles, size=n_jobs)
+        times = self.start_cycle + np.cumsum(gaps)
+        return tuple(int(t) for t in np.rint(times))
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Bursty arrivals: bursts of ``burst_size`` jobs every ``burst_interval``.
+
+    Job ``j`` arrives at ``start + (j // burst_size) * burst_interval`` —
+    the whole burst lands on one cycle, modelling synchronized request
+    spikes (the worst case for tail latency).
+    """
+
+    burst_size: int
+    burst_interval_cycles: int
+    start_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.burst_size <= 0:
+            raise ArrivalError("burst_size must be positive")
+        if self.burst_interval_cycles < 0:
+            raise ArrivalError("burst_interval_cycles cannot be negative")
+        if self.start_cycle < 0:
+            raise ArrivalError("start_cycle cannot be negative")
+
+    def generate(self, n_jobs: int) -> Tuple[int, ...]:
+        return tuple(
+            self.start_cycle + (j // self.burst_size) * self.burst_interval_cycles
+            for j in range(n_jobs)
+        )
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Arrivals replayed from an SWF-style trace file (see
+    :func:`load_arrival_trace`).  A trace longer than the run is truncated
+    to the first ``n_jobs`` records; a shorter one is an error."""
+
+    path: str
+
+    def generate(self, n_jobs: int) -> Tuple[int, ...]:
+        arrivals = load_arrival_trace(self.path)
+        if len(arrivals) < n_jobs:
+            raise ArrivalError(
+                f"arrival trace {self.path} has {len(arrivals)} records but "
+                f"the workload runs {n_jobs} jobs"
+            )
+        return arrivals[:n_jobs]
+
+
+#: registered arrival-process kinds, by spec name.
+ARRIVAL_PROCESSES: Dict[str, type] = {
+    "deterministic": DeterministicArrivals,
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "trace": TraceArrivals,
+}
+
+
+def resolve_arrivals(spec: object) -> Optional[object]:
+    """Normalise an arrival spelling into an arrival-process instance.
+
+    Accepted spellings (the ones the scenario spec and CLI produce):
+
+    * ``None`` — closed batch, returned unchanged;
+    * an arrival-process instance (anything with ``generate``) — itself;
+    * a string — treated as an SWF-style trace file path;
+    * a mapping with a ``"process"`` key naming a registered kind plus its
+      keyword parameters, e.g. ``{"process": "poisson",
+      "mean_interarrival_cycles": 400, "seed": 7}``;
+    * an iterable of ``(key, value)`` pairs — the frozen spelling of the
+      mapping, as stored on :class:`~repro.scenarios.spec.Scenario`.
+    """
+    if spec is None:
+        return None
+    if hasattr(spec, "generate"):
+        return spec
+    if isinstance(spec, (str, Path)):
+        return TraceArrivals(str(spec))
+    if not isinstance(spec, Mapping):
+        try:
+            spec = dict(spec)
+        except (TypeError, ValueError):
+            raise ArrivalError(
+                f"cannot interpret arrival spec of type {type(spec).__name__}"
+            ) from None
+    params = dict(spec)
+    name = params.pop("process", None)
+    if name is None:
+        raise ArrivalError(
+            "arrival spec mappings need a 'process' key naming one of: "
+            + ", ".join(sorted(ARRIVAL_PROCESSES))
+        )
+    try:
+        cls = ARRIVAL_PROCESSES[name]
+    except KeyError:
+        raise ArrivalError(
+            f"unknown arrival process {name!r}; registered: "
+            + ", ".join(sorted(ARRIVAL_PROCESSES))
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as error:
+        raise ArrivalError(f"invalid {name} arrival parameters: {error}") from None

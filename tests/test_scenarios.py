@@ -184,6 +184,7 @@ class TestFingerprints:
             "buffer_depth": 3,
             "fast_forward": True,
             "engine": "python",
+            "arrivals": {"process": "deterministic", "interval_cycles": 100},
             "execution": "typical",
             "name": "renamed",
         }

@@ -191,7 +191,7 @@ class TestStoreRobustness:
         """
         from repro.sim.system import SIMULATION_PAYLOAD_VERSION
 
-        assert SIMULATION_PAYLOAD_VERSION == 2  # bumped in PR 5
+        assert SIMULATION_PAYLOAD_VERSION == 3  # bumped in PR 9 (2 since PR 5)
         store = ArtifactStore(tmp_path / "sim-payload-store")
         cache = ArtifactCache(store=store)
         graph, arch = TINY.build_graph(), TINY.build_arch()
@@ -227,6 +227,45 @@ class TestStoreRobustness:
         )
         workload3 = workload_stage(mapping3, cache=third)
         served = simulation_stage(arch, workload3, cache=third)
+        assert third.stats.miss_count("simulation") == 0
+        assert third.stats.disk_hit_count("simulation") == 1
+        assert served.record() == result.record()
+
+    def test_pr5_simulation_payloads_read_as_misses_and_rebuild_once(self, tmp_path):
+        """The PR 9 payload-version bump invalidates PR 5-era store entries.
+
+        PR 9 bumped SIMULATION_PAYLOAD_VERSION 2 -> 3 (the tracer gained the
+        per-request completion map of open-system workloads): a warm store
+        written under the v2 stamp must read as a miss, rebuild exactly
+        once, and serve the rebuilt entry from disk afterwards.
+        """
+        store = ArtifactStore(tmp_path / "sim-v2-store")
+        cache = ArtifactCache(store=store)
+        graph, arch = TINY.build_graph(), TINY.build_arch()
+        mapping = mapping_stage(
+            graph, arch, TINY.batch_size, OptimizationLevel.FINAL, cache=cache
+        )
+        workload = workload_stage(mapping, cache=cache)
+        result = simulation_stage(arch, workload, cache=cache)
+        # stamp every persisted simulation payload as the PR 5 schema
+        region_dir = store._namespace / "simulation"
+        stamped = 0
+        for path in region_dir.rglob("*"):
+            if not path.is_file():
+                continue
+            envelope = pickle.loads(path.read_bytes())
+            envelope["payload"]["version"] = 2
+            path.write_bytes(pickle.dumps(envelope))
+            stamped += 1
+        assert stamped == 1
+        fresh = ArtifactCache(store=store)  # a new process over the old store
+        rebuilt = simulation_stage(arch, workload, cache=fresh)
+        assert fresh.stats.miss_count("simulation") == 1  # rebuilt, not served
+        assert fresh.stats.disk_hit_count("simulation") == 0
+        assert rebuilt.record() == result.record()
+        # rebuilt once: the refreshed entry serves the next process from disk
+        third = ArtifactCache(store=store)
+        served = simulation_stage(arch, workload, cache=third)
         assert third.stats.miss_count("simulation") == 0
         assert third.stats.disk_hit_count("simulation") == 1
         assert served.record() == result.record()

@@ -30,7 +30,10 @@ import pytest
 
 from repro.scenarios.fingerprint import simulation_key
 from repro.sim import (
+    BurstyArrivals,
     DataFlow,
+    DeterministicArrivals,
+    PoissonArrivals,
     StageCost,
     StageDescriptor,
     Workload,
@@ -181,6 +184,79 @@ class TestRandomizedProperty:
 
 
 # --------------------------------------------------------------------------- #
+# Open-system workloads: arrival-gated launch across the full engine matrix
+# --------------------------------------------------------------------------- #
+def _random_arrivals(rng: random.Random, n_jobs: int):
+    """A random arrival schedule drawn across process kind, rate and seed.
+
+    Rates span well below the service rate (launch gating dominates),
+    around it, and far above it (the schedule degenerates to a burst and
+    the open run must still match a closed one event for event).
+    """
+    kind = rng.choice(["deterministic", "poisson", "bursty"])
+    if kind == "deterministic":
+        process = DeterministicArrivals(
+            interval_cycles=rng.choice([0, 40, 700, 6000]),
+            start_cycle=rng.choice([0, 0, 250]),
+        )
+    elif kind == "poisson":
+        process = PoissonArrivals(
+            mean_interarrival_cycles=rng.choice([50.0, 800.0, 5000.0]),
+            seed=rng.randrange(1 << 16),
+        )
+    else:
+        process = BurstyArrivals(
+            burst_size=rng.choice([2, 5, 16]),
+            burst_interval_cycles=rng.choice([0, 900, 9000]),
+        )
+    return process.generate(n_jobs)
+
+
+class TestOpenWorkloadEquivalence:
+    """Bit-identity of all three kernels under arrival-gated job launch."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_open_pipelines_identical_across_engines(self, seed):
+        rng = random.Random(7000 + seed)
+        workload = _random_workload(rng)
+        workload = workload.with_arrivals(_random_arrivals(rng, workload.n_jobs))
+        assert workload.is_open
+        model_contention = rng.random() < 0.7
+        buffer_depth = rng.choice([1, 2, 5])
+        results = {
+            engine: simulate(
+                ARCH64, workload, model_contention, buffer_depth, engine=engine
+            )
+            for engine in ("python", "array", "table")
+        }
+        for engine in ("array", "table"):
+            mismatches = result_mismatches(results["python"], results[engine])
+            assert mismatches == [], f"seed {seed}, {engine}: {mismatches}"
+        # every job's sojourn was recorded, identically, on every engine
+        latencies = results["python"].request_latencies()
+        assert len(latencies) == workload.n_jobs
+        assert all(lat > 0 for lat in latencies)
+        for engine in ("array", "table"):
+            assert results[engine].request_latencies() == latencies
+
+    def test_open_zoo_mapping_identical_across_engines(self):
+        """A real mapped model (not a synthetic chain) under Poisson load."""
+        arch, workload = _zoo_workload(
+            "tiny_cnn", (3, 32, 32), "final", 16, 16, 10, 128
+        )
+        workload = workload.with_arrivals(
+            PoissonArrivals(mean_interarrival_cycles=30000.0, seed=11).generate(
+                workload.n_jobs
+            )
+        )
+        python = simulate(arch, workload, engine="python")
+        array = simulate(arch, workload, engine="array")
+        table = simulate(arch, workload, engine="table")
+        assert result_mismatches(python, array) == []
+        assert result_mismatches(python, table) == []
+
+
+# --------------------------------------------------------------------------- #
 # Bounded runs: the fast-forward probe on top of the array kernel
 # --------------------------------------------------------------------------- #
 class TestBoundedRunEquivalence:
@@ -222,3 +298,11 @@ class TestEngineCacheKey:
             for engine in ("array", "python")
         }
         assert len(keys) == 4
+
+    def test_arrivals_axis_keys_separately(self):
+        base = simulation_key("a", "w", True, 2)
+        assert simulation_key("a", "w", True, 2, arrivals=None) == base
+        open_key = simulation_key("a", "w", True, 2, arrivals=(0, 10, 20))
+        assert open_key != base
+        assert simulation_key("a", "w", True, 2, arrivals=(0, 10, 21)) != open_key
+        assert simulation_key("a", "w", True, 2, arrivals=(0, 10, 20)) == open_key
