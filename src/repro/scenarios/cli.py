@@ -71,12 +71,17 @@ def format_outcomes(result: SweepResult) -> str:
     Accuracy columns (relative output RMS error and top-1 agreement vs the
     digital reference) appear whenever any outcome ran the accuracy stage;
     per-request latency percentile and sustained-QPS columns appear
-    whenever any outcome ran an open-system (arrival-driven) workload.
+    whenever any outcome ran an open-system (arrival-driven) workload.  A
+    ``ffwd`` column appears whenever any scenario requested the
+    steady-state fast-forward: ``yes`` when it engaged, otherwise the
+    typed refusal reason, so coverage cliffs are visible in the stats
+    line instead of silently degrading to the full run.
     """
     with_accuracy = any(o.accuracy is not None for o in result.outcomes)
     with_serving = any(
         o.metrics.request_latency_p50_ms is not None for o in result.outcomes
     )
+    with_ffwd = any(o.scenario.fast_forward for o in result.outcomes)
     header = (
         f"{'scenario':<40} {'ms':>8} {'TOPS':>8} {'img/s':>8} "
         f"{'clusters':>9} {'TOPS/W':>8} {'HBM MB':>8}"
@@ -85,6 +90,8 @@ def format_outcomes(result: SweepResult) -> str:
         header += f" {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'QPS':>10} {'sat':>4}"
     if with_accuracy:
         header += f" {'rel RMSE':>9} {'top1':>6}"
+    if with_ffwd:
+        header += f" {'ffwd':>18}"
     lines = [header, "-" * len(header)]
     for outcome in result.outcomes:
         m = outcome.metrics
@@ -113,6 +120,13 @@ def format_outcomes(result: SweepResult) -> str:
                 )
             else:
                 line += f" {'-':>9} {'-':>6}"
+        if with_ffwd:
+            sim = outcome.simulation
+            if sim.fast_forwarded:
+                cell = "yes"
+            else:
+                cell = sim.fast_forward_refusal or "-"
+            line += f" {cell:>18}"
         lines.append(line)
     for failure in result.failures:
         lines.append(

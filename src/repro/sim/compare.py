@@ -33,8 +33,9 @@ def result_mismatches(
 ) -> List[str]:
     """Every observable in which two results differ (empty = bit-identical).
 
-    ``ignore_provenance`` skips the ``fast_forwarded`` flag, which is the
-    one field the fast-forward is *supposed* to change.
+    ``ignore_provenance`` skips the ``fast_forwarded`` flag and the
+    ``fast_forward_refusal`` record — the two fields the fast-forward is
+    *supposed* to change.
     """
     out: List[str] = []
     _check(out, "makespan_cycles", a.makespan_cycles, b.makespan_cycles)
@@ -48,6 +49,12 @@ def result_mismatches(
     _check(out, "model_contention", a.model_contention, b.model_contention)
     if not ignore_provenance:
         _check(out, "fast_forwarded", a.fast_forwarded, b.fast_forwarded)
+        _check(
+            out,
+            "fast_forward_refusal",
+            a.fast_forward_refusal,
+            b.fast_forward_refusal,
+        )
     ta, tb = a.tracer, b.tracer
     for counter in ("noc_bytes", "noc_byte_hops", "hbm_bytes", "local_bytes",
                     "n_transfers", "makespan"):
@@ -68,6 +75,12 @@ def result_mismatches(
             (y.analog, y.digital, y.communication, y.synchronization,
              y.last_busy_cycle, y.jobs),
         )
+    _check(
+        out,
+        "tracer.stage_replica_groups",
+        dict(getattr(ta, "stage_replica_groups", {})),
+        dict(getattr(tb, "stage_replica_groups", {})),
+    )
     _check(out, "tracer.stages order", list(ta.stages), list(tb.stages))
     for sid in ta.stages:
         x = ta.stages[sid]

@@ -22,7 +22,10 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .steady_state import FastForwardRefusal
 
 from ..arch.config import ArchConfig
 from .engine import Barrier, CreditStore, Engine, Server, SimulationError
@@ -56,7 +59,14 @@ from .workload import (
 #: to version 2, but a v2 payload cannot prove it was not produced by a
 #: pre-gating simulator on an open workload, so every stale payload is
 #: re-simulated once.
-SIMULATION_PAYLOAD_VERSION = 3
+#: Version 4: the steady-state fast-forward gained the replica-symmetry
+#: certification path and typed refusals.  The payload carries the
+#: ``fast_forward_refusal`` (why a requested fast-forward fell back to
+#: the full run), and the tracer records per-stage replica-group shapes;
+#: v3 payloads of fast-forward scenarios cannot distinguish "ran full
+#: because refused" from "ran full because never attempted", so they are
+#: re-simulated once.
+SIMULATION_PAYLOAD_VERSION = 4
 
 #: valid values of the ``engine`` argument of :func:`simulate` /
 #: :class:`SystemSimulator`: the array-native kernel (default), the
@@ -96,6 +106,10 @@ class SimulationRecord:
     #: (:mod:`repro.sim.steady_state`); every other field is bit-identical
     #: to the full event-driven run it replaces.
     fast_forwarded: bool = False
+    #: when a requested fast-forward was refused, the refusal *reason*
+    #: slug (one of :data:`repro.sim.steady_state.REFUSAL_REASONS`);
+    #: ``None`` when the fast-forward engaged or was never requested.
+    fast_forward_refusal: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary (JSON-safe) rendering of the declared fields."""
@@ -124,6 +138,12 @@ class SimulationResult:
     #: whether the steady-state fast-forward produced this result (the
     #: record fields are bit-identical to the full run either way).
     fast_forwarded: bool = False
+    #: the typed refusal (:class:`repro.sim.steady_state.FastForwardRefusal`)
+    #: explaining why a *requested* fast-forward fell back to the full
+    #: event-driven run; ``None`` when it engaged or was never requested.
+    #: Provenance, like :attr:`fast_forwarded`: the simulated quantities
+    #: are bit-identical either way.
+    fast_forward_refusal: Optional["FastForwardRefusal"] = None
 
     @property
     def makespan_seconds(self) -> float:
@@ -232,6 +252,11 @@ class SimulationResult:
             "model_contention": self.model_contention,
             "final_stage_completions": tuple(self.final_stage_completions),
             "fast_forwarded": self.fast_forwarded,
+            "fast_forward_refusal": (
+                self.fast_forward_refusal.to_payload()
+                if self.fast_forward_refusal is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -250,6 +275,13 @@ class SimulationResult:
                 f"simulation payload version {version!r} does not match "
                 f"{SIMULATION_PAYLOAD_VERSION} (stale artifact)"
             )
+        refusal_payload = payload.get("fast_forward_refusal")
+        if refusal_payload is not None:
+            from .steady_state import FastForwardRefusal
+
+            refusal = FastForwardRefusal.from_payload(refusal_payload)
+        else:
+            refusal = None
         return cls(
             workload=workload,
             arch=arch,
@@ -259,6 +291,7 @@ class SimulationResult:
             model_contention=payload["model_contention"],
             final_stage_completions=tuple(payload["final_stage_completions"]),
             fast_forwarded=bool(payload["fast_forwarded"]),
+            fast_forward_refusal=refusal,
         )
 
     def record(self) -> SimulationRecord:
@@ -280,6 +313,11 @@ class SimulationResult:
             n_transfers=self.tracer.n_transfers,
             model_contention=self.model_contention,
             fast_forwarded=self.fast_forwarded,
+            fast_forward_refusal=(
+                self.fast_forward_refusal.reason
+                if self.fast_forward_refusal is not None
+                else None
+            ),
         )
 
 
@@ -344,8 +382,14 @@ class _StageRuntime:
             else None
         )
         self._digital_groups = self._partition_digital()
-        # register for per-stage statistics
-        sim.tracer.stage(descriptor.stage_id, descriptor.name)
+        # register for per-stage statistics, with the replica-group shape
+        # the steady-state certifier folds completion traces by
+        sim.tracer.stage(
+            descriptor.stage_id,
+            descriptor.name,
+            replication=descriptor.replication,
+            digital_slots=descriptor.digital_slots,
+        )
 
     # ------------------------------------------------------------------ #
     def _partition_digital(self) -> List[Tuple[int, ...]]:
@@ -1049,14 +1093,16 @@ def simulate(
 
     With ``fast_forward=True`` the steady-state fast-forward
     (:mod:`repro.sim.steady_state`) first probes a shortened run; when the
-    pipeline's inter-job completion deltas are verifiably periodic across
-    all stages, the remaining jobs are extrapolated analytically — the
-    returned result is bit-identical to the full run (asserted over the
-    model zoo in ``tests/test_sim_fast_forward.py``) and carries
-    ``fast_forwarded=True``.  When periodicity cannot be certified (or the
-    workload is too small to be worth probing) the full event-driven run
-    executes, so ``fast_forward=False`` behaviour is always available as
-    the fallback.
+    pipeline's event pattern is verifiably periodic — via the global
+    single-anchor certification or, on contention-free runs of wide
+    replica groups, the replica-symmetry certification — the remaining
+    jobs are extrapolated analytically.  The returned result is
+    bit-identical to the full run (asserted over the model zoo and the
+    FINAL mapping in ``tests/test_sim_fast_forward.py``) and carries
+    ``fast_forwarded=True``.  When certification is refused the full
+    event-driven run executes and the typed refusal is attached to the
+    result (``fast_forward_refusal``), so ``fast_forward=True`` is always
+    safe, merely not always faster.
 
     ``engine`` selects the event kernel: ``"array"`` (default) runs the
     array-native kernel (:mod:`repro.sim.engine_array` /
@@ -1074,18 +1120,20 @@ def simulate(
             f"unknown simulation engine {engine!r}; "
             f"expected one of {SIMULATION_ENGINES}"
         )
+    refusal = None
     if fast_forward:
         from .steady_state import fast_forward_simulate
 
-        result = fast_forward_simulate(
+        outcome = fast_forward_simulate(
             arch,
             workload,
             model_contention=model_contention,
             buffer_depth=buffer_depth,
             engine=engine,
         )
-        if result is not None:
-            return result
+        if isinstance(outcome, SimulationResult):
+            return outcome
+        refusal = outcome
     simulator = SystemSimulator(
         arch,
         workload,
@@ -1093,4 +1141,6 @@ def simulate(
         buffer_depth=buffer_depth,
         engine=engine,
     )
-    return simulator.run()
+    result = simulator.run()
+    result.fast_forward_refusal = refusal
+    return result

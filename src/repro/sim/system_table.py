@@ -323,7 +323,12 @@ class TableProgram:
             )
             self.stages.append(st)
             self._by_sid[desc.stage_id] = st
-            st.activity = self.tracer.stage(desc.stage_id, desc.name)
+            st.activity = self.tracer.stage(
+                desc.stage_id,
+                desc.name,
+                replication=desc.replication,
+                digital_slots=desc.digital_slots,
+            )
         # relay targets: (kind, label) -> consuming stage input
         relay: Dict[Tuple[str, str], Tuple[_CompiledStage, int]] = {}
         for st in self.stages:

@@ -188,11 +188,35 @@ class TestScenarios:
         assert results["large_batch_sim.full_s"] > 0
         assert results["large_batch_sim.fast_forward_s"] > 0
 
+    def test_fast_forward_final_reports_both_modes(self):
+        from repro.perf.bench import bench_fast_forward_final
+
+        # a deliberately tiny macro: the fast-forward refuses (typed) and
+        # the ff arm times the verified fallback — the key contract and
+        # the positive-timing invariant hold either way, without paying
+        # for the paper-sized mapping in a unit test.
+        config = replace(
+            TINY,
+            ff_final_batch=8,
+            ff_final_input=(3, 32, 32),
+            ff_final_clusters=256,
+            sim_crossbar=256,
+        )
+        results = bench_fast_forward_final(config)
+        assert set(results) == {
+            "fast_forward_final.full_s",
+            "fast_forward_final.ff_s",
+            "fast_forward_final.ff_speedup",
+        }
+        assert results["fast_forward_final.full_s"] > 0
+        assert results["fast_forward_final.ff_s"] > 0
+
     def test_new_scenarios_are_in_the_default_gate(self):
         for scenarios in (BenchConfig().scenarios, BenchConfig.quick().scenarios):
             assert "sim_engine" in scenarios
             assert "sim_engine_table" in scenarios
             assert "large_batch_sim" in scenarios
+            assert "fast_forward_final" in scenarios
 
 
 class TestCLI:

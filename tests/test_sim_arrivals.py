@@ -208,12 +208,17 @@ class TestWorkloadField:
 # --------------------------------------------------------------------------- #
 class TestFastForwardRefusal:
     def test_probe_refuses_open_workloads(self):
+        from repro.sim.steady_state import REFUSAL_OPEN_WORKLOAD, FastForwardRefusal
+
         workload = _chain(n_jobs=96, replication=2)
-        assert fast_forward_simulate(ARCH64, workload) is not None  # periodic
+        engaged = fast_forward_simulate(ARCH64, workload)
+        assert not isinstance(engaged, FastForwardRefusal)  # periodic
         open_workload = workload.with_arrivals(
             DeterministicArrivals(300).generate(96)
         )
-        assert fast_forward_simulate(ARCH64, open_workload) is None
+        refusal = fast_forward_simulate(ARCH64, open_workload)
+        assert isinstance(refusal, FastForwardRefusal)
+        assert refusal.reason == REFUSAL_OPEN_WORKLOAD
 
     @pytest.mark.parametrize("engine", ["python", "array", "table"])
     def test_simulate_takes_verified_fallback(self, engine):
@@ -224,7 +229,8 @@ class TestFastForwardRefusal:
         ff = simulate(ARCH64, open_workload, fast_forward=True, engine=engine)
         assert not full.fast_forwarded
         assert not ff.fast_forwarded  # provenance: the full run really ran
-        assert result_mismatches(full, ff) == []
+        assert ff.fast_forward_refusal is not None  # ...and says why
+        assert result_mismatches(full, ff, ignore_provenance=True) == []
         assert len(ff.request_latencies()) == 96
         # the closed twin of the same pipeline still fast-forwards
         closed = simulate(

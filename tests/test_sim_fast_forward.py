@@ -11,6 +11,8 @@ equivalence assertions cannot silently pass through fallback alone.
 """
 
 import dataclasses
+import logging
+import random
 
 import pytest
 
@@ -23,9 +25,23 @@ from repro.scenarios import (
     run_scenario,
     workload_stage,
 )
-from repro.sim import DataFlow, StageCost, StageDescriptor, Workload, simulate
-from repro.sim.steady_state import MIN_JOBS, fast_forward_simulate
-from repro.sim.system import SimulationResult
+from repro.sim import (
+    DataFlow,
+    StageCost,
+    StageDescriptor,
+    Workload,
+    result_mismatches,
+    simulate,
+)
+from repro.sim.steady_state import (
+    MIN_JOBS,
+    REFUSAL_OPEN_WORKLOAD,
+    REFUSAL_PROBE_TOO_SHORT,
+    REFUSAL_WINDOW_TOO_LARGE,
+    FastForwardRefusal,
+    fast_forward_simulate,
+)
+from repro.sim.system import SIMULATION_ENGINES, SimulationResult
 
 
 # --------------------------------------------------------------------------- #
@@ -135,11 +151,15 @@ def assert_identical(full: SimulationResult, ff: SimulationResult) -> None:
     assert {k: tuple(v) for k, v in a.stage_completions.items()} == {
         k: tuple(v) for k, v in b.stage_completions.items()
     }
-    # the record layer: identical except the provenance flag
+    # the record layer: identical except the two provenance fields — the
+    # engagement flag, and the typed refusal reason the fast-forward arm
+    # carries when it fell back to the full run
     full_record = dataclasses.asdict(full.record())
     ff_record = dataclasses.asdict(ff.record())
     assert full_record.pop("fast_forwarded") is False
     ff_record.pop("fast_forwarded")
+    assert full_record.pop("fast_forward_refusal") is None
+    ff_record.pop("fast_forward_refusal")
     assert full_record == ff_record
 
 
@@ -181,8 +201,10 @@ class TestSyntheticPipelines:
         result = simulate(ARCH64, _chain())
         assert not result.fast_forwarded
 
-    def test_direct_api_returns_none_below_min_jobs(self):
-        assert fast_forward_simulate(ARCH64, _chain(n_jobs=8)) is None
+    def test_direct_api_refuses_below_min_jobs(self):
+        refusal = fast_forward_simulate(ARCH64, _chain(n_jobs=8))
+        assert isinstance(refusal, FastForwardRefusal)
+        assert refusal.reason == REFUSAL_PROBE_TOO_SHORT
 
     def test_traces_cover_every_job_of_every_stage(self):
         workload = _chain(n_jobs=96)
@@ -236,6 +258,146 @@ class TestModelZoo:
         if must_engage:
             assert ff.fast_forwarded, f"{name}: fast-forward failed to engage"
         assert_identical(full, ff)
+
+
+# --------------------------------------------------------------------------- #
+# The paper's headline workload: FINAL ResNet-18, 256-job macro
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def final_macro():
+    """The FINAL-mapping ResNet-18 macro (batch 64 -> 256 jobs, 512 clusters)."""
+    return _zoo_workload("resnet18", (3, 256, 256), "final", 64, 512)
+
+
+class TestFinalMapping:
+    """Replica-symmetry certification on the mapping the tentpole targets.
+
+    The FINAL mapping's 33/9/3-way stage replications exceed the global
+    certification cap, so engagement here exercises the replica path:
+    per-stage anchors, merged-family certification and the exact integer
+    extrapolation — asserted bit-identical on every registered engine.
+    """
+
+    @pytest.mark.parametrize("engine", SIMULATION_ENGINES)
+    def test_engages_and_is_bit_identical(self, final_macro, engine):
+        arch, workload = final_macro
+        full = simulate(arch, workload, engine=engine, model_contention=False)
+        ff = simulate(
+            arch,
+            workload,
+            engine=engine,
+            model_contention=False,
+            fast_forward=True,
+        )
+        assert ff.fast_forwarded, (
+            f"{engine}: refused: {ff.fast_forward_refusal}"
+        )
+        assert not result_mismatches(full, ff, ignore_provenance=True)
+
+    def test_contention_refusal_is_typed(self, final_macro):
+        arch, workload = final_macro
+        ff = simulate(arch, workload, fast_forward=True)  # contention on
+        assert not ff.fast_forwarded
+        refusal = ff.fast_forward_refusal
+        assert refusal is not None
+        assert refusal.reason == REFUSAL_WINDOW_TOO_LARGE
+
+
+# --------------------------------------------------------------------------- #
+# Refusal taxonomy and escalation records
+# --------------------------------------------------------------------------- #
+class TestRefusalTaxonomy:
+    def test_below_min_jobs_is_recorded_on_the_result(self):
+        ff = simulate(ARCH64, _chain(n_jobs=MIN_JOBS - 1), fast_forward=True)
+        assert not ff.fast_forwarded
+        refusal = ff.fast_forward_refusal
+        assert refusal is not None
+        assert refusal.reason == REFUSAL_PROBE_TOO_SHORT
+
+    def test_open_workload_refuses_with_typed_reason(self):
+        workload = _chain(n_jobs=96)
+        arrivals = tuple(range(0, workload.n_jobs * 10, 10))
+        open_workload = dataclasses.replace(workload, arrival_cycles=arrivals)
+        refusal = fast_forward_simulate(ARCH64, open_workload)
+        assert isinstance(refusal, FastForwardRefusal)
+        assert refusal.reason == REFUSAL_OPEN_WORKLOAD
+
+    def test_wide_replicas_under_contention_record_rejected_windows(self):
+        # q_max = 13 exceeds MAX_WINDOW: under contention the replica path
+        # is unavailable, and the refusal must carry the probe attempts
+        # and the candidate windows the global path rejected — the cap is
+        # typed and traceable, not silent.
+        workload = _chain(n_jobs=96, replication=13)
+        refusal = fast_forward_simulate(ARCH64, workload, model_contention=True)
+        assert isinstance(refusal, FastForwardRefusal)
+        assert refusal.reason == REFUSAL_WINDOW_TOO_LARGE
+        assert refusal.probes
+        assert any("rejected" in line for line in refusal.probes)
+
+    def test_probe_escalation_is_logged(self, caplog):
+        # window 5 never divides the first probe's remaining job count, so
+        # certification succeeds only after the re-probe at an aligned
+        # size — and that escalation must leave a log trace.
+        workload = _chain(n_jobs=120, replication=5)
+        with caplog.at_level(logging.INFO, logger="repro.sim.steady_state"):
+            result = fast_forward_simulate(ARCH64, workload)
+        assert isinstance(result, SimulationResult)
+        assert any("escalation" in message for message in caplog.messages)
+
+    def test_refusal_payload_round_trip(self):
+        refusal = FastForwardRefusal(
+            REFUSAL_WINDOW_TOO_LARGE, "detail", ("probe b=24",)
+        )
+        restored = FastForwardRefusal.from_payload(refusal.to_payload())
+        assert restored == refusal
+        with pytest.raises(ValueError):
+            FastForwardRefusal("not-a-reason", "")
+
+
+# --------------------------------------------------------------------------- #
+# Replica-permutation invariance (the symmetry the replica path rests on)
+# --------------------------------------------------------------------------- #
+def _permute_replicas(workload: Workload, seed: int) -> Workload:
+    """Shuffle the replica order of every stage with a seeded RNG."""
+    rng = random.Random(seed)
+    stages = []
+    for stage in workload.stages:
+        replicas = list(stage.analog_replicas)
+        rng.shuffle(replicas)
+        stages.append(
+            dataclasses.replace(stage, analog_replicas=tuple(replicas))
+        )
+    return dataclasses.replace(workload, stages=tuple(stages))
+
+
+class TestReplicaPermutationInvariance:
+    """Permuting replica ids must not break cross-engine bit-identity.
+
+    The replica-symmetry certification treats a stage's replicas as
+    timing-interchangeable under round-robin dispatch; that assumption is
+    only sound if every engine handles an arbitrary replica order
+    identically.  A seeded shuffle of each stage's replica tuple must
+    leave ``result_mismatches`` empty across python/array/table.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 7, 2023])
+    def test_engines_agree_on_permuted_replicas(self, seed):
+        workload = _permute_replicas(_chain(n_jobs=96, replication=3), seed)
+        results = {
+            engine: simulate(ARCH64, workload, engine=engine)
+            for engine in SIMULATION_ENGINES
+        }
+        reference = results[SIMULATION_ENGINES[0]]
+        for engine in SIMULATION_ENGINES[1:]:
+            assert not result_mismatches(reference, results[engine]), engine
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_fast_forward_stays_exact_on_permuted_replicas(self, seed):
+        workload = _permute_replicas(_chain(n_jobs=96, replication=3), seed)
+        full = simulate(ARCH64, workload)
+        ff = simulate(ARCH64, workload, fast_forward=True)
+        assert ff.fast_forwarded
+        assert not result_mismatches(full, ff, ignore_provenance=True)
 
 
 # --------------------------------------------------------------------------- #
